@@ -1,0 +1,81 @@
+"""Ablation: the two-level cache — on/off and what staleness costs.
+
+Fig. 12 already shows cache-on vs cache-off response times; this bench
+adds the *consistency* side of the trade-off: with the Cache Refresher
+running, a deployment update on the source site propagates to remote
+caches within one refresh interval (via the LastUpdateTime mechanism of
+paper Fig. 6), so the fast path stays usable.
+"""
+
+import pytest
+
+from repro.experiments.fig12 import run_fig12_point
+from repro.glare.model import ActivityDeployment, DeploymentKind, DeploymentStatus
+from repro.vo import build_vo
+
+
+def test_ablation_cache_speedup(benchmark, print_report):
+    """Quantify the cache's response-time advantage at fixed topology."""
+
+    def run():
+        cached = run_fig12_point(3, cache=True, clients=6)
+        uncached = run_fig12_point(3, cache=False, clients=6)
+        return cached, uncached
+
+    cached, uncached = benchmark(run)
+    speedup = uncached.mean_response_ms / cached.mean_response_ms
+    print_report(
+        "Ablation — deployment-list resolution over 3 registry sites:\n"
+        f"  cache on : {cached.mean_response_ms:.1f} ms\n"
+        f"  cache off: {uncached.mean_response_ms:.1f} ms\n"
+        f"  speedup  : {speedup:.1f}x"
+    )
+    assert speedup > 3.0
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+
+
+def test_ablation_cache_refresh_propagates_updates(benchmark, print_report):
+    """A status change on the source site reaches remote caches via LUT."""
+
+    def run():
+        vo = build_vo(n_sites=3, seed=33, cache_enabled=True, monitors=True,
+                      group_size=4)
+        vo.form_overlay()
+        type_xml = (
+            '<ActivityTypeEntry name="CachedApp" kind="concrete">'
+            "<Domain>x</Domain></ActivityTypeEntry>"
+        )
+        vo.run_process(vo.client_call("agrid01", "register_type",
+                                      payload={"xml": type_xml}))
+        deployment = ActivityDeployment(
+            name="cachedapp", type_name="CachedApp",
+            kind=DeploymentKind.EXECUTABLE, site="agrid01",
+            path="/opt/deployments/cachedapp/bin/cachedapp",
+            status=DeploymentStatus.ACTIVE,
+        )
+        vo.run_process(vo.client_call(
+            "agrid01", "register_deployment",
+            payload={"xml": deployment.to_xml().to_string()},
+        ))
+        # remote site resolves (and caches) the deployment
+        vo.run_process(vo.client_call(
+            "agrid02", "get_deployments",
+            payload={"type": "CachedApp", "auto_deploy": False},
+        ))
+        adr2 = vo.stack("agrid02").adr
+        assert deployment.key in adr2.cached_deployments
+        assert adr2.cached_deployments[deployment.key].status.value == "active"
+
+        # the source site's status monitor will now mark it FAILED
+        # (the path does not exist on agrid01's filesystem)
+        vo.sim.run(until=vo.sim.now + 120.0)
+        return adr2.cached_deployments.get(deployment.key)
+
+    cached_copy = benchmark(run)
+    status = cached_copy.status.value if cached_copy is not None else "evicted"
+    print_report(
+        "Ablation — cache refresh: remote cached deployment status after "
+        f"the source flagged it failed: {status!r}"
+    )
+    # the remote cache converged on the source's updated view
+    assert cached_copy is None or cached_copy.status.value == "failed"

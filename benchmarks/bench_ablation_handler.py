@@ -1,0 +1,105 @@
+"""Ablation: Expect vs JavaCoG handlers across archive sizes.
+
+Table 1 compares the two handlers on three fixed applications; this
+bench sweeps the installation-archive size to show *why* the gap grows:
+JavaCoG pays a per-step GRAM submission plus slower single-stream
+transfers, so its disadvantage widens with bigger payloads while the
+constant session overheads dominate small ones.
+"""
+
+import pytest
+
+from repro.glare.deployfile import parse_deployfile
+from repro.glare.handlers import ExpectHandler, JavaCoGHandler
+from repro.gram.service import GramService
+from repro.gridftp.service import GridFtpService, UrlCatalog
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.simkernel import Simulator
+from repro.site.description import SiteDescription
+from repro.site.gridsite import GridSite
+
+SIZES = (1_000_000, 8_000_000, 32_000_000)
+
+
+def _recipe(size: int) -> str:
+    return f"""
+<Build baseDir="/opt/deployments/app" defaultTask="Deploy" name="app">
+  <Step name="Init" task="mkdir-p" timeout="10">
+    <Property name="argument" value="/opt/deployments/app"/>
+  </Step>
+  <Step name="Download" depends="Init" task="globus-url-copy"
+        baseDir="/opt/deployments/app" timeout="300">
+    <Property name="source" value="http://origin/app.tgz"/>
+    <Property name="destination" value="file:///opt/deployments/app/app.tgz"/>
+  </Step>
+  <Step name="Expand" depends="Download" task="tar xvfz"
+        baseDir="/opt/deployments/app" timeout="60">
+    <Property name="argument" value="/opt/deployments/app/app.tgz"/>
+  </Step>
+  <Step name="Build" depends="Expand" task="make" demand="5.0"
+        baseDir="/opt/deployments/app" timeout="300">
+    <Produces path="bin/app" size="{size // 4}" executable="true"/>
+  </Step>
+</Build>
+"""
+
+
+def _install(handler_kind: str, size: int) -> float:
+    sim = Simulator(seed=77)
+    topo = Topology.star("target", ["origin", "caller"],
+                         latency=0.004, bandwidth=12.5e6)
+    net = Network(sim, topo)
+    catalog = UrlCatalog()
+    origin = GridSite(net, SiteDescription(name="origin"))
+    net.add_node("caller")
+    target = GridSite(net, SiteDescription(name="target"))
+    GridFtpService(net, "origin", fs=origin.fs, url_catalog=catalog)
+    gridftp = GridFtpService(net, "target", fs=target.fs, url_catalog=catalog)
+    GramService(net, "target", submission_overhead=1.0)
+    origin.fs.put_file("/www/app.tgz", size=size)
+    catalog.publish("http://origin/app.tgz", "origin", "/www/app.tgz")
+    recipe = parse_deployfile(_recipe(size))
+    if handler_kind == "expect":
+        handler = ExpectHandler(target, gridftp)
+    else:
+        handler = JavaCoGHandler(target, gridftp, net, caller="caller")
+
+    def run():
+        report = yield from handler.execute(recipe)
+        assert report.success, report.error
+        return report.total_time
+
+    proc = sim.process(run())
+    return sim.run(until=proc)
+
+
+def test_ablation_handler_vs_archive_size(benchmark, print_report):
+    def run():
+        results = {}
+        for size in SIZES:
+            results[size] = {
+                "expect": _install("expect", size),
+                "javacog": _install("javacog", size),
+            }
+        return results
+
+    results = benchmark(run)
+    lines = ["Ablation — install time (s) vs archive size:"]
+    for size, by_handler in results.items():
+        gap = by_handler["javacog"] - by_handler["expect"]
+        lines.append(
+            f"  {size / 1e6:5.0f} MB : expect {by_handler['expect']:6.1f}  "
+            f"javacog {by_handler['javacog']:6.1f}  (gap {gap:5.1f})"
+        )
+    print_report("\n".join(lines))
+
+    # Expect wins at every size, and the absolute gap widens with size.
+    gaps = []
+    for size in SIZES:
+        expect_time = results[size]["expect"]
+        javacog_time = results[size]["javacog"]
+        assert expect_time < javacog_time
+        gaps.append(javacog_time - expect_time)
+    assert gaps[-1] > gaps[0]
+    benchmark.extra_info["gaps_s"] = [round(g, 1) for g in gaps]

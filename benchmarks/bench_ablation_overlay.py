@@ -1,0 +1,70 @@
+"""Ablation: super-peer overlay vs flat (single-group) resolution.
+
+The paper argues the super-peer model "works well with dynamic and
+large-scale distributed environments" in contrast to flat or
+centralized alternatives.  This bench compares discovery of a type
+registered on one far-away site in a 12-site VO, organised either as
+one flat group (every request fans out to all 11 peers) or as
+super-peer groups of 3 (fan-out within the group, then one escalation
+through the super group) — measuring both resolution latency and the
+number of messages the VO carries per request.
+"""
+
+import pytest
+
+from repro.vo import build_vo
+
+N_SITES = 12
+TYPE_XML = (
+    '<ActivityTypeEntry name="FarApp" kind="concrete">'
+    "<Domain>x</Domain></ActivityTypeEntry>"
+)
+
+
+def _resolve_once(group_size: int):
+    vo = build_vo(n_sites=N_SITES, seed=51, group_size=group_size,
+                  monitors=False, cache_enabled=False)
+    vo.form_overlay()
+    # register the type on the last site; resolve from the second site
+    vo.run_process(vo.client_call(f"agrid{N_SITES - 1:02d}", "register_type",
+                                  payload={"xml": TYPE_XML}))
+    messages_before = vo.network.total_messages
+
+    def client():
+        start = vo.sim.now
+        try:
+            yield from vo.client_call(
+                "agrid01", "get_deployments",
+                payload={"type": "FarApp", "auto_deploy": False},
+            )
+        except Exception:
+            pass  # no deployments exist; we measure the discovery walk
+        return vo.sim.now - start
+
+    latency = vo.run_process(client())
+    messages = vo.network.total_messages - messages_before
+    groups = len({s.rdm.overlay.view.super_peer for s in vo.stacks.values()})
+    return latency, messages, groups
+
+
+def test_ablation_overlay_vs_flat(benchmark, print_report):
+    def run():
+        flat = _resolve_once(group_size=N_SITES + 1)
+        grouped = _resolve_once(group_size=3)
+        return flat, grouped
+
+    (flat_lat, flat_msgs, flat_groups), (sp_lat, sp_msgs, sp_groups) = benchmark(run)
+    print_report(
+        f"Ablation — discovery walk in a {N_SITES}-site VO:\n"
+        f"  flat ({flat_groups} group) : {flat_lat * 1000:.1f} ms, "
+        f"{flat_msgs} messages\n"
+        f"  super-peer ({sp_groups} groups): {sp_lat * 1000:.1f} ms, "
+        f"{sp_msgs} messages"
+    )
+    assert flat_groups == 1
+    assert sp_groups > 1
+    # the overlay reduces per-request message fan-out: a flat walk
+    # queries every peer; the overlay walks group -> super group
+    assert sp_msgs < flat_msgs
+    benchmark.extra_info["flat_messages"] = flat_msgs
+    benchmark.extra_info["superpeer_messages"] = sp_msgs

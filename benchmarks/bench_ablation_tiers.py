@@ -1,0 +1,70 @@
+"""Ablation: where requests resolve (local / group / super-peer / deploy).
+
+GLARE's layered resolution (local registries → group peers → super
+group → on-demand installation) means the *first* request for a type
+walks far, and every later one — from anywhere that cached the answer —
+stays local.  This bench measures the tier breakdown and latency of a
+request stream against VOs with and without caching, using the metrics
+layer (``repro.stats``).
+"""
+
+import pytest
+
+from repro.apps import publish_applications, register_application
+from repro.stats import collect_metrics
+from repro.vo import build_vo
+
+APPS = ("Wien2k", "Invmod")
+
+
+def drive_requests(cache_enabled: bool, repeats: int = 5):
+    vo = build_vo(n_sites=6, seed=271, monitors=False, group_size=3,
+                  cache_enabled=cache_enabled)
+    publish_applications(vo)
+    vo.form_overlay()
+    for app in APPS:
+        vo.run_process(register_application(vo, "agrid01", app))
+    client_sites = ["agrid02", "agrid04", "agrid05"]
+    latencies = []
+
+    def one(site, app):
+        start = vo.sim.now
+        yield from vo.client_call(site, "get_deployments", payload=app)
+        latencies.append(vo.sim.now - start)
+
+    for _ in range(repeats):
+        for site in client_sites:
+            for app in APPS:
+                vo.run_process(one(site, app))
+    metrics = collect_metrics(vo)
+    return metrics, latencies
+
+
+def test_ablation_resolution_tiers(benchmark, print_report):
+    def run():
+        cached_metrics, cached_lat = drive_requests(True)
+        uncached_metrics, uncached_lat = drive_requests(False)
+        return cached_metrics, cached_lat, uncached_metrics, uncached_lat
+
+    cached_metrics, cached_lat, uncached_metrics, uncached_lat = benchmark(run)
+
+    cached_tiers = cached_metrics.resolution_breakdown()
+    uncached_tiers = uncached_metrics.resolution_breakdown()
+    warm_cached = sorted(cached_lat)[len(cached_lat) // 2]
+    warm_uncached = sorted(uncached_lat)[len(uncached_lat) // 2]
+    print_report(
+        "Ablation — resolution tiers over 30 requests (3 clients x 2 apps"
+        " x 5 rounds):\n"
+        f"  cache on : {cached_tiers}, median latency {warm_cached * 1000:.1f} ms\n"
+        f"  cache off: {uncached_tiers}, median latency {warm_uncached * 1000:.1f} ms"
+    )
+
+    # with the cache, exactly one install per app; everything else local
+    assert cached_tiers["on-demand-deploy"] == len(APPS)
+    assert cached_tiers["local"] >= 20
+    # without the cache, nothing ever resolves locally at the requester
+    assert uncached_tiers["local"] == 0
+    # the cached median (a local hit) is much faster
+    assert warm_cached < warm_uncached
+    benchmark.extra_info["cached_tiers"] = cached_tiers
+    benchmark.extra_info["uncached_tiers"] = uncached_tiers

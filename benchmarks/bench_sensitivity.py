@@ -1,0 +1,143 @@
+"""Sensitivity analysis: the reproduced shapes are not calibration flukes.
+
+The reproduction calibrates a handful of constants (the index's
+per-node scan cost, its heap budget, the TLS crypto cost).  This bench
+sweeps each across a 4x range and asserts the *qualitative* claims of
+Figs. 10/11 survive:
+
+* the registry beats the index at every scan cost;
+* the index decays with registry size at every scan cost;
+* the index collapses under >10 clients and a large registry for every
+  plausible heap budget;
+* https costs the registry a large fraction of its throughput at every
+  crypto cost in the range.
+"""
+
+import pytest
+
+from repro.experiments.workload import (
+    measure_throughput,
+    spawn_clients,
+    synthetic_type_doc,
+)
+from repro.glare.model import ActivityType
+from repro.glare.registry import ActivityTypeRegistry, ATR_SERVICE
+from repro.mds.index import IndexService
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.net.transport import SecurityPolicy
+from repro.simkernel import Simulator
+from repro.wsrf.resource import EndpointReference
+
+HORIZON, WARMUP = 20.0, 4.0
+
+
+def _throughput(service, clients, n_types, *, per_visit=8e-6,
+                heap_budget=20000.0, secure=False, cpu_fixed=0.0035):
+    sim = Simulator(seed=21)
+    topo = Topology.star("server", [f"c{i}" for i in range(4)],
+                         latency=0.004, bandwidth=12.5e6)
+    policy = (SecurityPolicy.https(cpu_fixed=cpu_fixed) if secure
+              else SecurityPolicy.http())
+    net = Network(sim, topo, security=policy)
+    net.add_node("server", cores=2)
+    for i in range(4):
+        net.add_node(f"c{i}", cores=2)
+
+    if service == "registry":
+        atr = ActivityTypeRegistry(net, "server", per_visit_cost=per_visit)
+        for index in range(n_types):
+            atr.add_local_type(ActivityType.from_xml(synthetic_type_doc(index)))
+        name, method = ATR_SERVICE, "lookup_type"
+        payload_for = lambda i: f"type{i % n_types:04d}"  # noqa: E731
+    else:
+        index_service = IndexService(net, "server", per_visit_cost=per_visit,
+                                     heap_node_budget=heap_budget)
+        for index in range(n_types):
+            epr = EndpointReference("server/mds-index", "mds-index",
+                                    f"type{index:04d}")
+            index_service.register_document(epr, synthetic_type_doc(index))
+        name, method = "mds-index", "query"
+        payload_for = (  # noqa: E731
+            lambda i: f"//ActivityTypeEntry[@name='type{i % n_types:04d}']"
+        )
+
+    def request_factory(client_index):
+        site = f"c{client_index % 4}"
+
+        def request():
+            yield from net.call(site, "server", name, method,
+                                payload=payload_for(client_index))
+
+        return request
+
+    stats = spawn_clients(sim, clients, request_factory, warmup=WARMUP)
+    return measure_throughput(sim, stats, horizon=HORIZON, warmup=WARMUP)
+
+
+def test_sensitivity_scan_cost(benchmark, print_report):
+    """Registry-beats-index and index-decay hold across scan costs."""
+
+    def run():
+        out = {}
+        for per_visit in (4e-6, 8e-6, 1.6e-5):
+            registry = _throughput("registry", 8, 100, per_visit=per_visit)
+            index_small = _throughput("index", 8, 25, per_visit=per_visit)
+            index_large = _throughput("index", 8, 100, per_visit=per_visit)
+            out[per_visit] = (registry, index_small, index_large)
+        return out
+
+    results = benchmark(run)
+    lines = ["Sensitivity — per-visit scan cost (req/s):"]
+    for per_visit, (registry, small, large) in results.items():
+        lines.append(f"  {per_visit:.0e}: registry {registry:6.1f} | "
+                     f"index@25 {small:6.1f} | index@100 {large:6.1f}")
+        assert registry > large  # registry wins at every cost
+        assert small > large  # the index decays with size at every cost
+    print_report("\n".join(lines))
+
+
+def test_sensitivity_heap_budget(benchmark, print_report):
+    """The >10-client collapse exists for every plausible heap size —
+    it just moves: bigger heaps collapse at larger registries."""
+
+    def run():
+        out = {}
+        for budget in (10_000.0, 20_000.0, 40_000.0):
+            # registry sized ~2.2x the budget/12-client product so every
+            # budget in the sweep is pushed past its own cliff
+            n_types = int(budget / (12 * 14) * 2.2)
+            out[budget] = (n_types,
+                           _throughput("index", 12, n_types,
+                                       heap_budget=budget))
+        return out
+
+    results = benchmark(run)
+    lines = ["Sensitivity — heap budget vs collapse (12 clients):"]
+    for budget, (n_types, throughput) in results.items():
+        lines.append(f"  budget {budget:8.0f}: {n_types} resources -> "
+                     f"{throughput:5.2f} req/s")
+        assert throughput < 10.0  # collapsed (healthy is >100 req/s)
+    print_report("\n".join(lines))
+
+
+def test_sensitivity_crypto_cost(benchmark, print_report):
+    """https hurts the registry substantially across crypto costs."""
+
+    def run():
+        out = {}
+        for cpu_fixed in (0.002, 0.0035, 0.007):
+            plain = _throughput("registry", 8, 50)
+            secure = _throughput("registry", 8, 50, secure=True,
+                                 cpu_fixed=cpu_fixed)
+            out[cpu_fixed] = (plain, secure)
+        return out
+
+    results = benchmark(run)
+    lines = ["Sensitivity — TLS crypto cost (registry req/s):"]
+    for cpu_fixed, (plain, secure) in results.items():
+        drop = 1 - secure / plain
+        lines.append(f"  crypto {cpu_fixed * 1000:4.1f} ms: "
+                     f"{plain:6.1f} -> {secure:6.1f} ({drop:.0%} drop)")
+        assert drop > 0.25
+    print_report("\n".join(lines))

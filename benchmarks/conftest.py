@@ -1,0 +1,30 @@
+"""Shared pytest-benchmark configuration for the experiment harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+The benchmark timer measures the wall-clock cost of running the
+simulation-based experiment; the *reproduced values* (the paper's
+numbers) are attached to ``benchmark.extra_info`` and printed, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+report generator.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Experiments are deterministic; one round is meaningful and keeps
+    # the full harness runnable in minutes.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False
+
+
+@pytest.fixture
+def print_report(capsys):
+    """Print a reproduction report outside of captured output."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Paper Example 1: deploying JPOVray *without* GLARE — the hard way.
+
+This script performs, step by step, the manual procedure of paper §2.1
+using only the basic Grid services (MDS queries, GridFTP transfers,
+GRAM jobs): check for Java and Ant on the target, install whatever is
+missing by hand, transfer the JPOVray sources, build them, update MDS,
+and finally run the renderer.  Count the steps — then compare with
+``examples/quickstart.py``, where one ``get_deployments`` call does all
+of it.  That contrast is exactly the paper's motivation for GLARE.
+
+Run:  python examples/manual_deployment.py
+"""
+
+from repro.apps import get_application, publish_applications
+from repro.gram.jobs import JobSpec
+from repro.mds.glue import publish_site_info, publish_software, query_software
+from repro.vo import build_vo
+
+TARGET = "agrid02"
+CLIENT = "agrid01"
+
+
+def main() -> None:
+    vo = build_vo(n_sites=3, seed=11, monitors=False)
+    publish_applications(vo)
+    for site in vo.site_names:
+        publish_site_info(vo, site)
+    steps = []
+
+    def log(step: str) -> None:
+        steps.append(step)
+        print(f"[{vo.sim.now:8.2f}s] step {len(steps):2d}: {step}")
+
+    def run(gen):
+        return vo.run_process(gen)
+
+    def manual() -> None:
+        # --- Preparing environment -----------------------------------
+        log("query MDS for location of java on target site")
+        java = run(query_software(vo, CLIENT, TARGET, "java",
+                                  target_site=TARGET))
+        if not java:
+            log("java not found: query MDS for the JDK installation file")
+            jdk = get_application("Java")
+            log("transfer JDK installation file to the target site (GridFTP)")
+            run(vo.stack(TARGET).gridftp.fetch_url(
+                jdk.archive_url, "/scratch/jdk.tgz"))
+            log("create user-defined JDK deployment script")
+            log("submit installation script using GRAM")
+            run(_gram_job(vo, "sh install-jdk.sh", demand=4.0))
+            vo.stack(TARGET).site.fs.put_file(
+                "/home/glare/java/bin/java", size=60_000, executable=True)
+            vo.stack(TARGET).site.fs.put_file(
+                "/home/glare/java/bin/javac", size=55_000, executable=True)
+            log("update MDS with the information about the deployed JDK")
+            publish_software(vo, TARGET, "java", "1.4",
+                             "/home/glare/java/bin/java", "/home/glare/java")
+
+        log("query MDS for location of ant on target site")
+        ant = run(query_software(vo, CLIENT, TARGET, "ant", target_site=TARGET))
+        if not ant:
+            log("ant not found: repeat the same installation dance for ant")
+            ant_spec = get_application("Ant")
+            run(vo.stack(TARGET).gridftp.fetch_url(
+                ant_spec.archive_url, "/scratch/ant.tgz"))
+            run(_gram_job(vo, "sh install-ant.sh", demand=1.5))
+            vo.stack(TARGET).site.fs.put_file(
+                "/home/glare/ant/bin/ant", size=12_000, executable=True)
+            log("update MDS with the information about the deployed ant")
+            publish_software(vo, TARGET, "ant", "1.6",
+                             "/home/glare/ant/bin/ant", "/home/glare/ant")
+
+        log("query MDS for required povray libraries")
+        run(query_software(vo, CLIENT, TARGET, "povray_libs"))
+
+        # --- Transfer application data --------------------------------
+        jpov = get_application("JPOVray")
+        log("transfer the required libraries (GridFTP)")
+        log("transfer JPOVray source code (GridFTP)")
+        run(vo.stack(TARGET).gridftp.fetch_url(
+            jpov.archive_url, "/scratch/jpovray-src.tgz"))
+
+        # --- Build remotely ---------------------------------------------
+        log("create remote build script using MDS info "
+            "(JAVA_HOME, ANT_HOME, CLASSPATH)")
+        log("submit deployment script through GRAM")
+        run(_gram_job(vo, "ant deploy", demand=6.0))
+        vo.stack(TARGET).site.fs.put_file(
+            "/home/glare/jpovray/bin/jpovray", size=800_000, executable=True)
+        log("update MDS with info about the newly deployed JPOVray")
+        publish_software(vo, TARGET, "jpovray", "3.6",
+                         "/home/glare/jpovray/bin/jpovray",
+                         "/home/glare/jpovray")
+
+        # --- Use the deployed application -------------------------------
+        log("query MDS to find the JPOVray location")
+        found = run(query_software(vo, CLIENT, TARGET, "jpovray",
+                                   target_site=TARGET))
+        assert found, "the manually installed JPOVray must be findable"
+        log("create script to run jpovray with java and libs locations")
+        log("submit execution script through GRAM")
+        run(_gram_job(vo, "jpovray scene.pov", demand=8.0))
+        log("retrieve result using GridFTP; visualize locally")
+
+    started = vo.sim.now
+    manual()
+    manual_time = vo.sim.now - started
+    print(f"\nManual deployment: {len(steps)} operator steps, "
+          f"{manual_time:.1f} simulated seconds,")
+    print("and the workflow description now hardcodes "
+          f"'{TARGET}:/home/glare/jpovray/bin/jpovray'.")
+    print("With GLARE the same outcome is ONE call: "
+          "get_deployments('JPOVray')  (see examples/quickstart.py)")
+
+
+def _gram_job(vo, command: str, demand: float):
+    def gen():
+        job_id = yield from vo.network.call(
+            CLIENT, TARGET, "gram", "submit",
+            payload=JobSpec(command=command, cpu_demand=demand),
+        )
+        snapshot = yield from vo.network.call(
+            CLIENT, TARGET, "gram", "wait", payload=job_id)
+        assert snapshot["state"] == "done"
+        return snapshot
+
+    return gen()
+
+
+if __name__ == "__main__":
+    main()

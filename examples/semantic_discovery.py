@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The §6 future-work features, working: semantic search, wrapper
+generation, and un-deployment.
+
+1. A client that knows no type names asks its local GLARE service for
+   *"something that renders a scene into an image"* — the semantic
+   matcher resolves the description to JPOVray through synonyms and the
+   inherited function descriptions of the type hierarchy.
+2. The matched type is deployed on demand; its legacy executable is
+   then wrapped in a generated web service (the Otho toolkit
+   integration), so WS-oriented clients can invoke it.
+3. Finally the provider un-deploys everything, and the registries and
+   filesystem are clean again.
+
+Run:  python examples/semantic_discovery.py
+"""
+
+from repro.apps import (
+    publish_applications,
+    register_application,
+    register_base_hierarchy,
+)
+from repro.glare.model import ActivityDeployment
+from repro.vo import build_vo
+
+
+def main() -> None:
+    vo = build_vo(n_sites=3, seed=77)
+    publish_applications(vo)
+    vo.form_overlay()
+    vo.run_process(register_base_hierarchy(vo, "agrid01"))
+    for app in ("Java", "Ant", "JPOVray", "Wien2k"):
+        vo.run_process(register_application(vo, "agrid01", app))
+
+    # -- 1. semantic search ------------------------------------------------
+    query = {"function": "convert", "inputs": ["scene"], "outputs": ["picture"]}
+    matches = vo.run_process(vo.client_call("agrid01", "semantic_lookup",
+                                            payload=query))
+    print(f"semantic query {query}:")
+    for match in matches:
+        print(f"    {match['type']:10s} score={match['score']:.2f} "
+              f"(via function {match['function']!r})")
+    best = matches[0]["type"]
+
+    # -- 2. deploy + wrap the legacy executable -----------------------------
+    wires = vo.run_process(vo.client_call("agrid01", "get_deployments",
+                                          payload=best))
+    deployments = [ActivityDeployment.from_xml(w["xml"]) for w in wires]
+    executable = next(d for d in deployments if d.kind.value == "executable")
+    print(f"\ndeployed {best}: {executable.key} ({executable.path})")
+
+    out = vo.run_process(vo.network.call(
+        "agrid01", executable.site, "glare-rdm", "generate_wrapper",
+        payload=executable.key,
+    ))
+    wrapper_key = out["wrapper"]
+    wrapper = vo.stack(executable.site).adr.deployments[wrapper_key]
+    print(f"generated wrapper service: {wrapper.name} at {wrapper.endpoint}")
+
+    outcome = vo.run_process(vo.network.call(
+        "agrid01", executable.site, "glare-rdm", "instantiate",
+        payload={"key": wrapper_key, "demand": 3.0},
+    ))
+    print(f"invoked wrapper: exit={outcome['exit_code']} "
+          f"duration={outcome['duration']:.1f}s "
+          "(ran the legacy binary as a GRAM job under the hood)")
+
+    # -- 3. un-deploy ---------------------------------------------------------
+    summary = vo.run_process(vo.network.call(
+        "agrid01", executable.site, "glare-rdm", "undeploy_type",
+        payload={"type": best, "remove_type": False},
+    ))
+    removed = [r["undeployed"] for r in summary["deployments_removed"]]
+    print(f"\nundeployed {best} from {executable.site}: {removed}")
+    fs = vo.stack(executable.site).site.fs
+    print(f"executable still on disk? {fs.exists(executable.path)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""GLARE reproduction: Grid activity registration, deployment, provisioning.
+
+A complete reimplementation of *GLARE: A Grid Activity Registration,
+Deployment and Provisioning Framework* (Siddiqui, Villazón, Hofer,
+Fahringer — SC 2005) on a deterministic discrete-event simulated Grid.
+
+Quick tour (see README.md for the full story):
+
+>>> from repro import build_vo
+>>> from repro.apps import get_application, publish_applications
+>>> vo = build_vo(n_sites=4, seed=1)
+>>> publish_applications(vo, ["Wien2k"])
+>>> vo.form_overlay()                                    # doctest: +SKIP
+>>> spec = get_application("Wien2k")
+>>> vo.run_process(vo.client_call(                       # doctest: +SKIP
+...     "agrid01", "register_type", payload={"xml": spec.type_xml}))
+>>> wires = vo.run_process(vo.client_call(               # doctest: +SKIP
+...     "agrid02", "get_deployments", payload="Wien2k"))
+
+Sub-packages: ``simkernel`` (event loop), ``net`` (WAN + RPC), ``wsrf``
+(WS-Resources/XPath), ``mds`` (the WS-MDS baseline), ``site``/``gram``/
+``gridftp`` (Grid fabric), ``glare`` (the paper's contribution),
+``gridarm`` (leasing + brokerage), ``workflow`` (AGWL + enactment),
+``apps`` (application catalog), ``experiments`` (Table 1 / Figs 10–13).
+"""
+
+from repro.vo import VOConfig, VirtualOrganization, build_vo
+
+__version__ = "1.0.0"
+
+__all__ = ["VOConfig", "VirtualOrganization", "build_vo", "__version__"]

@@ -1,0 +1,41 @@
+"""Application catalog: the scientific codes the paper deploys.
+
+The evaluation (Table 1) deploys three real applications on-demand:
+
+* **Wien2k** — electronic-structure calculation (pre-compiled
+  distribution: big archive, short installation);
+* **Invmod** — hydrological inverse modelling for WaSiM-ETH (source
+  distribution: long compilation, many build steps);
+* **Counter** — a sample GT4 service (ant build + container deploy).
+
+The motivating example (§2) additionally uses **POVray/JPOVray** with
+its **Java** (JDK) and **Ant** dependencies.  This package defines all
+of them as :class:`ApplicationSpec` entries: an activity-type document,
+a deploy-file, an archive size, and declared deployment names.  Step
+demands are calibrated so the reproduction's Table 1 has the same
+shape as the paper's (absolute milliseconds come from their testbed).
+"""
+
+from repro.apps.catalog import (
+    ALL_APPLICATIONS,
+    TABLE1_APPLICATIONS,
+    ApplicationSpec,
+    base_hierarchy_types,
+    fig9_povray_deployfile,
+    get_application,
+    publish_applications,
+    register_application,
+    register_base_hierarchy,
+)
+
+__all__ = [
+    "ALL_APPLICATIONS",
+    "ApplicationSpec",
+    "TABLE1_APPLICATIONS",
+    "base_hierarchy_types",
+    "fig9_povray_deployfile",
+    "get_application",
+    "publish_applications",
+    "register_application",
+    "register_base_hierarchy",
+]

@@ -1,0 +1,400 @@
+"""Application specifications and their deploy-files.
+
+Every entry couples an activity-type XML document (paper Fig. 9 style)
+with a deploy-file.  ``publish_applications`` hosts the archives and
+deploy-files on a VO's origin site; ``register_application`` registers
+the type through a site's local GLARE service (paper Example 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Generator, List, Optional
+
+from repro.glare.model import ActivityType
+from repro.vo import VirtualOrganization
+
+BASE_URL = "http://dps.uibk.ac.at/~glare/deployfiles"
+ARCHIVE_URL = "http://mirror.austriangrid.at/archives"
+
+#: the paper's Fig. 9 POVray deploy-file, transcribed (data file)
+FIG9_DEPLOYFILE = Path(__file__).with_name("data") / "povray_fig9.build"
+
+
+def fig9_povray_deployfile() -> str:
+    """The transcribed Fig. 9 deploy-file, as XML text."""
+    return FIG9_DEPLOYFILE.read_text(encoding="utf-8")
+
+
+@dataclass
+class ApplicationSpec:
+    """One deployable application: type document + deploy-file."""
+
+    name: str
+    type_xml: str
+    deployfile_xml: str
+    archive_size: int
+    deployfile_url: str = ""
+    archive_url: str = ""
+    dependencies: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.deployfile_url:
+            self.deployfile_url = f"{BASE_URL}/{self.name.lower()}.build"
+        if not self.archive_url:
+            self.archive_url = f"{ARCHIVE_URL}/{self.name.lower()}.tgz"
+
+    def activity_type(self) -> ActivityType:
+        return ActivityType.from_xml(self.type_xml)
+
+
+def _type_xml(
+    name: str,
+    base: str,
+    domain: str,
+    functions: str,
+    deployfile_url: str,
+    dependencies: str = "",
+    deployment_names: str = "",
+    kind: str = "concrete",
+) -> str:
+    dep_line = f"<Dependency>{dependencies}</Dependency>" if dependencies else ""
+    return f"""
+<ActivityTypeEntry name="{name}" kind="{kind}">
+  <Domain>{domain}</Domain>
+  <BaseType>{base}</BaseType>
+  {functions}
+  {dep_line}
+  <Installation mode="on-demand">
+    <Constraints>
+      <platform>Intel</platform>
+      <os>Linux</os>
+      <arch>32bit</arch>
+    </Constraints>
+    <DeployFile url="{deployfile_url}" md5sum="d41d8cd98f"/>
+  </Installation>
+  {deployment_names}
+</ActivityTypeEntry>
+"""
+
+
+def _deployfile(name: str, archive_url: str, archive_size: int,
+                build_steps: str, home_dir: str) -> str:
+    """Common skeleton: Init -> Download -> Expand -> app-specific steps."""
+    return f"""
+<Build baseDir="$DEPLOYMENT_DIR/{name.lower()}" defaultTask="Deploy" name="{name}">
+  <Step name="Init" task="mkdir-p" baseDir="$DEPLOYMENT_DIR/{name.lower()}" timeout="10">
+    <Env name="{name.upper()}_HOME" value="{home_dir}"/>
+    <Property name="argument" value="{home_dir}"/>
+  </Step>
+  <Step name="Download" depends="Init" task="$GLOBUS_LOCATION/bin/globus-url-copy"
+        baseDir="{home_dir}" timeout="120">
+    <Property name="source" value="{archive_url}"/>
+    <Property name="destination" value="file://{home_dir}/{name.lower()}.tgz"/>
+    <Property name="md5sum" value="c0ffee{archive_size:x}"/>
+  </Step>
+  <Step name="Expand" depends="Download" task="tar xvfz" baseDir="{home_dir}" timeout="60">
+    <Property name="argument" value="{home_dir}/{name.lower()}.tgz"/>
+  </Step>
+{build_steps}
+</Build>
+"""
+
+
+def _steps(home: str, entries: List[Dict]) -> str:
+    """Render build steps from dict descriptions."""
+    out = []
+    for entry in entries:
+        children = []
+        for produced in entry.get("produces", []):
+            children.append(
+                f'    <Produces path="{produced[0]}" size="{produced[1]}" '
+                f'executable="{"true" if produced[2] else "false"}"/>'
+            )
+        for dialog in entry.get("dialogs", []):
+            children.append(
+                f'    <Dialog expect="{dialog[0]}" send="{dialog[1]}" delay="{dialog[2]}"/>'
+            )
+        body = "\n".join(children)
+        out.append(
+            f'  <Step name="{entry["name"]}" depends="{entry["depends"]}" '
+            f'task="{entry["task"]}" baseDir="{home}" '
+            f'timeout="{entry.get("timeout", 300)}" demand="{entry.get("demand", 0)}">\n'
+            f"{body}\n  </Step>"
+        )
+    return "\n".join(out)
+
+
+def _make_wien2k() -> ApplicationSpec:
+    """Pre-compiled: big archive, fast unpack-and-configure install."""
+    name = "Wien2k"
+    home = "$DEPLOYMENT_DIR/wien2k"
+    steps = _steps(home, [
+        {"name": "SiteConfig", "depends": "Expand", "task": "./siteconfig_lapw",
+         "demand": 1.2, "dialogs": [("continue (y/n)", "y", 0.2)]},
+        {"name": "UserConfig", "depends": "SiteConfig", "task": "./userconfig_lapw",
+         "demand": 0.8},
+        {"name": "CompilerSetup", "depends": "UserConfig", "task": "./expand_lapw",
+         "demand": 2.6},
+        {"name": "LinkBinaries", "depends": "CompilerSetup", "task": "make links",
+         "demand": 1.0},
+        {"name": "InstallCheck", "depends": "LinkBinaries", "task": "./check_lapw",
+         "demand": 1.7,
+         "produces": [("bin/wien2k", 2_400_000, True), ("bin/lapw0", 1_100_000, True)]},
+        {"name": "RegisterPaths", "depends": "InstallCheck", "task": "./pathsetup",
+         "demand": 0.5},
+    ])
+    spec = ApplicationSpec(
+        name=name,
+        type_xml="",
+        deployfile_xml="",
+        archive_size=16_000_000,
+    )
+    spec.type_xml = _type_xml(
+        name, base="MaterialScience", domain="physics",
+        functions=('<Function name="scf"><Input>struct</Input>'
+                   "<Output>energy</Output></Function>"),
+        deployfile_url=spec.deployfile_url,
+        deployment_names=("<DeploymentName>wien2k</DeploymentName>"
+                          "<DeploymentName>lapw0</DeploymentName>"),
+    )
+    spec.deployfile_xml = _deployfile(name, spec.archive_url, spec.archive_size, steps, home)
+    return spec
+
+
+def _make_invmod() -> ApplicationSpec:
+    """Source distribution: long compile, many build steps."""
+    name = "Invmod"
+    home = "$DEPLOYMENT_DIR/invmod"
+    compile_units = [
+        ("wasim_core", 5.0), ("routing", 2.6), ("evapo", 2.2), ("snowmelt", 1.9),
+        ("infiltration", 2.1), ("calibration", 2.4), ("optimizer", 3.2),
+        ("interpolation", 1.7), ("io_formats", 1.4), ("statistics", 1.2),
+    ]
+    entries = [
+        {"name": "Configure", "depends": "Expand", "task": "./configure",
+         "demand": 2.0},
+    ]
+    previous = "Configure"
+    for unit, demand in compile_units:
+        step_name = f"Make_{unit}"
+        entries.append({"name": step_name, "depends": previous,
+                        "task": f"make {unit}", "demand": demand})
+        previous = step_name
+    entries.append({
+        "name": "LinkAll", "depends": previous, "task": "make link", "demand": 1.1,
+    })
+    entries.append({
+        "name": "Install", "depends": "LinkAll", "task": "make install", "demand": 1.0,
+        "produces": [("bin/invmod", 5_200_000, True)],
+    })
+    spec = ApplicationSpec(name=name, type_xml="", deployfile_xml="",
+                           archive_size=12_500_000)
+    spec.type_xml = _type_xml(
+        name, base="Hydrology", domain="hydrology",
+        functions=('<Function name="calibrate"><Input>catchment</Input>'
+                   "<Output>parameters</Output></Function>"),
+        deployfile_url=spec.deployfile_url,
+        deployment_names="<DeploymentName>invmod</DeploymentName>",
+    )
+    spec.deployfile_xml = _deployfile(name, spec.archive_url, spec.archive_size,
+                                      _steps(home, entries), home)
+    return spec
+
+
+def _make_counter() -> ApplicationSpec:
+    """A GT4 sample service: ant build then container deployment."""
+    name = "Counter"
+    home = "$DEPLOYMENT_DIR/counter"
+    steps = _steps(home, [
+        {"name": "GenerateStubs", "depends": "Expand", "task": "ant stubs",
+         "demand": 6.5},
+        {"name": "CompileService", "depends": "GenerateStubs", "task": "ant compile",
+         "demand": 10.0},
+        {"name": "PackageGar", "depends": "CompileService", "task": "ant dist",
+         "demand": 5.8},
+        {"name": "DeployGar", "depends": "PackageGar",
+         "task": "globus-deploy-gar", "demand": 5.0},
+        {"name": "ContainerRestart", "depends": "DeployGar",
+         "task": "globus-restart-container", "demand": 2.5},
+    ])
+    spec = ApplicationSpec(name=name, type_xml="", deployfile_xml="",
+                           archive_size=11_000_000)
+    spec.type_xml = _type_xml(
+        name, base="GridService", domain="demo",
+        functions=('<Function name="add"><Input>value</Input>'
+                   "<Output>total</Output></Function>"),
+        deployfile_url=spec.deployfile_url,
+        deployment_names="<DeploymentName>WS-CounterService</DeploymentName>",
+    )
+    spec.deployfile_xml = _deployfile(name, spec.archive_url, spec.archive_size,
+                                      _steps(home, []) + steps, home)
+    return spec
+
+
+def _make_java() -> ApplicationSpec:
+    """The JDK — dependency of JPOVray (paper Example 1)."""
+    name = "Java"
+    home = "$DEPLOYMENT_DIR/java"
+    steps = _steps(home, [
+        {"name": "AcceptLicense", "depends": "Expand", "task": "./install.sfx",
+         "demand": 1.0,
+         "dialogs": [("Do you agree to the above license terms?", "yes", 0.3),
+                     ("Install into", home, 0.2)]},
+        {"name": "LinkBin", "depends": "AcceptLicense", "task": "ln -s", "demand": 0.3,
+         "produces": [("bin/java", 60_000, True), ("bin/javac", 55_000, True)]},
+    ])
+    spec = ApplicationSpec(name=name, type_xml="", deployfile_xml="",
+                           archive_size=45_000_000)
+    spec.type_xml = _type_xml(
+        name, base="Runtime", domain="infrastructure",
+        functions='<Function name="execute"><Input>class</Input></Function>',
+        deployfile_url=spec.deployfile_url,
+        deployment_names=("<DeploymentName>java</DeploymentName>"
+                          "<DeploymentName>javac</DeploymentName>"),
+    )
+    spec.deployfile_xml = _deployfile(name, spec.archive_url, spec.archive_size, steps, home)
+    return spec
+
+
+def _make_ant() -> ApplicationSpec:
+    name = "Ant"
+    home = "$DEPLOYMENT_DIR/ant"
+    steps = _steps(home, [
+        {"name": "SetupWrapper", "depends": "Expand", "task": "./bootstrap.sh",
+         "demand": 0.8,
+         "produces": [("bin/ant", 12_000, True)]},
+    ])
+    spec = ApplicationSpec(name=name, type_xml="", deployfile_xml="",
+                           archive_size=9_000_000, dependencies=["Java"])
+    spec.type_xml = _type_xml(
+        name, base="BuildTool", domain="infrastructure",
+        functions='<Function name="build"><Input>buildfile</Input></Function>',
+        deployfile_url=spec.deployfile_url,
+        dependencies="Java",
+        deployment_names="<DeploymentName>ant</DeploymentName>",
+    )
+    spec.deployfile_xml = _deployfile(name, spec.archive_url, spec.archive_size, steps, home)
+    return spec
+
+
+def _make_jpovray() -> ApplicationSpec:
+    """The motivating example: Java POVray, executable + web service."""
+    name = "JPOVray"
+    home = "$DEPLOYMENT_DIR/jpovray"
+    steps = _steps(home, [
+        {"name": "AntBuild", "depends": "Expand", "task": "ant", "demand": 4.0},
+        {"name": "Deploy", "depends": "AntBuild", "task": "ant deploy", "demand": 2.0,
+         "produces": [("bin/jpovray", 800_000, True)]},
+    ])
+    spec = ApplicationSpec(name=name, type_xml="", deployfile_xml="",
+                           archive_size=6_000_000, dependencies=["Java", "Ant"])
+    spec.type_xml = _type_xml(
+        name, base="POVray", domain="imaging",
+        functions=('<Function name="render"><Input>scene.pov</Input>'
+                   "<Output>image</Output></Function>"),
+        deployfile_url=spec.deployfile_url,
+        dependencies="Java,Ant",
+        deployment_names=("<DeploymentName>jpovray</DeploymentName>"
+                          "<DeploymentName>WS-JPOVray</DeploymentName>"),
+    )
+    spec.deployfile_xml = _deployfile(name, spec.archive_url, spec.archive_size, steps, home)
+    return spec
+
+
+def _make_imageviewer() -> ApplicationSpec:
+    """A tiny visualization tool (the workflow's second activity)."""
+    name = "ImageViewer"
+    home = "$DEPLOYMENT_DIR/imageviewer"
+    steps = _steps(home, [
+        {"name": "Install", "depends": "Expand", "task": "make install",
+         "demand": 0.6,
+         "produces": [("bin/imageviewer", 300_000, True)]},
+    ])
+    spec = ApplicationSpec(name=name, type_xml="", deployfile_xml="",
+                           archive_size=2_000_000)
+    spec.type_xml = _type_xml(
+        name, base="Visualization", domain="imaging",
+        functions='<Function name="display"><Input>image</Input></Function>',
+        deployfile_url=spec.deployfile_url,
+        deployment_names="<DeploymentName>imageviewer</DeploymentName>",
+    )
+    spec.deployfile_xml = _deployfile(name, spec.archive_url, spec.archive_size, steps, home)
+    return spec
+
+
+_WIEN2K = _make_wien2k()
+_INVMOD = _make_invmod()
+_COUNTER = _make_counter()
+_JAVA = _make_java()
+_ANT = _make_ant()
+_JPOVRAY = _make_jpovray()
+_IMAGEVIEWER = _make_imageviewer()
+
+ALL_APPLICATIONS: Dict[str, ApplicationSpec] = {
+    spec.name: spec
+    for spec in (_WIEN2K, _INVMOD, _COUNTER, _JAVA, _ANT, _JPOVRAY, _IMAGEVIEWER)
+}
+
+#: the three applications of the paper's Table 1
+TABLE1_APPLICATIONS = ("Wien2k", "Invmod", "Counter")
+
+
+def get_application(name: str) -> ApplicationSpec:
+    try:
+        return ALL_APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(ALL_APPLICATIONS)}"
+        )
+
+
+def base_hierarchy_types() -> List[ActivityType]:
+    """The abstract types above the applications (paper Fig. 2/3)."""
+    out = []
+    for name, base in [
+        ("Imaging", ""),
+        ("ImageConversion", "Imaging"),
+        ("POVray", "ImageConversion"),
+        ("Runtime", ""),
+        ("BuildTool", ""),
+        ("MaterialScience", ""),
+        ("Hydrology", ""),
+        ("GridService", ""),
+        ("Visualization", ""),
+    ]:
+        base_el = f"<BaseType>{base}</BaseType>" if base else ""
+        out.append(ActivityType.from_xml(
+            f'<ActivityTypeEntry name="{name}" kind="abstract">{base_el}'
+            f"<Domain>generic</Domain></ActivityTypeEntry>"
+        ))
+    return out
+
+
+def publish_applications(vo: VirtualOrganization,
+                         names: Optional[List[str]] = None) -> None:
+    """Host archives + deploy-files for ``names`` on the VO's origin."""
+    for name in names or list(ALL_APPLICATIONS):
+        spec = get_application(name)
+        vo.publish_archive(spec.archive_url, spec.archive_size,
+                           md5sum=f"c0ffee{spec.archive_size:x}")
+        vo.publish_deployfile(spec.deployfile_url, spec.deployfile_xml,
+                              md5sum="d41d8cd98f")
+
+
+def register_base_hierarchy(vo: VirtualOrganization, site: str) -> Generator:
+    """Register the abstract base types through ``site``'s local GLARE."""
+    for at in base_hierarchy_types():
+        yield from vo.client_call(
+            site, "register_type", payload={"xml": at.to_xml().to_string()}
+        )
+
+
+def register_application(vo: VirtualOrganization, site: str, name: str) -> Generator:
+    """Register one application's activity type (paper Example 2)."""
+    spec = get_application(name)
+    result = yield from vo.client_call(
+        site, "register_type", payload={"xml": spec.type_xml}
+    )
+    return result

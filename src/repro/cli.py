@@ -1,0 +1,107 @@
+"""Command-line runner for the reproduction experiments.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig10 [--quick]
+    python -m repro fig11 [--quick]
+    python -m repro fig12
+    python -m repro fig13 [--quick]
+    python -m repro all [--quick]
+
+Each command rebuilds the corresponding table/figure of the paper on
+the simulated Grid and prints the rows/series.  ``--quick`` shrinks the
+sweeps (fewer points / smaller horizons) for a fast sanity pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _run_table1(quick: bool) -> str:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    apps = ("Wien2k",) if quick else ("Wien2k", "Invmod", "Counter")
+    return format_table1(run_table1(applications=apps))
+
+
+def _run_fig10(quick: bool) -> str:
+    from repro.experiments.fig10 import format_fig10, run_fig10
+
+    clients = (1, 4, 16) if quick else (1, 2, 4, 6, 8, 10, 12, 14, 16)
+    return format_fig10(run_fig10(client_counts=clients))
+
+
+def _run_fig11(quick: bool) -> str:
+    from repro.experiments.fig11 import (
+        format_fig11,
+        run_collapse_probe,
+        run_fig11,
+    )
+
+    sizes = (10, 100, 150) if quick else (10, 25, 50, 75, 100, 130, 150, 175, 200)
+    text = format_fig11(run_fig11(sizes=sizes, include_https=not quick))
+    probe = run_collapse_probe()
+    text += (
+        f"\n\nCollapse probe ({probe.resources} resources, {probe.clients} "
+        f"clients): index throughput = {probe.throughput:.2f} req/s"
+    )
+    return text
+
+
+def _run_fig12(quick: bool) -> str:
+    from repro.experiments.fig12 import format_fig12, run_fig12
+
+    return format_fig12(run_fig12())
+
+
+def _run_fig13(quick: bool) -> str:
+    from repro.experiments.fig13 import format_fig13, run_fig13
+
+    counts = (0, 120, 210) if quick else (0, 30, 60, 90, 120, 150, 180, 210)
+    rates = (1.0, 5.0) if quick else (1.0, 5.0, 10.0)
+    return format_fig13(run_fig13(requester_counts=counts,
+                                  sink_counts=counts, rates=rates))
+
+
+COMMANDS = {
+    "table1": _run_table1,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the GLARE paper's tables and figures "
+                    "on the simulated Grid.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which evaluation artefact to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink sweeps for a fast sanity pass",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(f"=== {name} " + "=" * (70 - len(name)))
+        print(COMMANDS[name](args.quick))
+        print(f"--- {name} done in {time.time() - started:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Fig. 10: registry vs index throughput under concurrent clients.
+
+"We compared ... Activity Type Registry with the GT4 Index Service
+(WS-MDS) by registering multiple activity type WS-Resources in both
+services.  We performed experiments with and without transport level
+security ... This experiment was performed with both WS-MDS Index and
+activity type registry services running on the same Grid site with
+same number of registered activity types, whereas clients were
+distributed among 7 other sites."
+
+Reproduction: one server site, 7 client sites, the same ``N`` synthetic
+activity-type documents registered in the server's ATR and (in a
+separate run, to avoid interference) in its WS-MDS index.  Clients are
+closed-loop: registry clients issue named ``lookup_type`` requests (the
+hash-table path); index clients issue the equivalent XPath query.
+Expected shape: registry ≈ 2× index throughput, and https roughly
+halves both (crypto CPU on the saturated server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Sequence
+
+from repro.experiments.report import format_multi_series
+from repro.experiments.workload import (
+    measure_throughput,
+    spawn_clients,
+    synthetic_type_doc,
+)
+from repro.glare.registry import ActivityTypeRegistry, ATR_SERVICE
+from repro.mds.index import IndexService
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.net.transport import SecurityPolicy
+from repro.simkernel import Simulator
+from repro.wsrf.resource import EndpointReference
+
+SERVER = "server"
+N_CLIENT_SITES = 7
+DEFAULT_TYPES = 30
+HORIZON = 30.0
+WARMUP = 5.0
+
+
+@dataclass
+class Fig10Point:
+    service: str  # "registry" | "index"
+    security: str  # "http" | "https"
+    clients: int
+    throughput: float  # requests per second
+    mean_response_ms: float
+
+
+def _build(service: str, secure: bool, n_types: int, seed: int):
+    sim = Simulator(seed=seed)
+    topo = Topology.star(SERVER, [f"c{i}" for i in range(N_CLIENT_SITES)],
+                         latency=0.004, bandwidth=12.5e6)
+    policy = SecurityPolicy.https() if secure else SecurityPolicy.http()
+    net = Network(sim, topo, security=policy)
+    net.add_node(SERVER, cores=2)
+    for i in range(N_CLIENT_SITES):
+        net.add_node(f"c{i}", cores=2)
+
+    if service == "registry":
+        atr = ActivityTypeRegistry(net, SERVER)
+        for index in range(n_types):
+            from repro.glare.model import ActivityType
+
+            atr.add_local_type(ActivityType.from_xml(synthetic_type_doc(index)))
+        service_name, method = ATR_SERVICE, "lookup_type"
+
+        def payload_for(index: int):
+            return f"type{index % n_types:04d}"
+
+    else:
+        index_service = IndexService(net, SERVER)
+        for index in range(n_types):
+            epr = EndpointReference(address=f"{SERVER}/mds-index",
+                                    service="mds-index", key=f"type{index:04d}")
+            index_service.register_document(epr, synthetic_type_doc(index))
+        service_name, method = "mds-index", "query"
+
+        def payload_for(index: int):
+            return f"//ActivityTypeEntry[@name='type{index % n_types:04d}']"
+
+    return sim, net, service_name, method, payload_for
+
+
+def run_fig10_point(service: str, secure: bool, clients: int,
+                    n_types: int = DEFAULT_TYPES, seed: int = 3) -> Fig10Point:
+    """Measure one (service, security, client-count) throughput point."""
+    sim, net, service_name, method, payload_for = _build(
+        service, secure, n_types, seed
+    )
+
+    def request_factory(client_index: int):
+        site = f"c{client_index % N_CLIENT_SITES}"
+
+        def request() -> Generator:
+            yield from net.call(
+                site, SERVER, service_name, method,
+                payload=payload_for(client_index),
+            )
+
+        return request
+
+    stats = spawn_clients(sim, clients, request_factory, warmup=WARMUP)
+    throughput = measure_throughput(sim, stats, horizon=HORIZON, warmup=WARMUP)
+    return Fig10Point(
+        service=service,
+        security="https" if secure else "http",
+        clients=clients,
+        throughput=throughput,
+        mean_response_ms=stats.mean_response * 1000.0,
+    )
+
+
+def run_fig10(
+    client_counts: Sequence[int] = (1, 2, 4, 6, 8, 10, 12, 14, 16),
+    n_types: int = DEFAULT_TYPES,
+    seed: int = 3,
+) -> List[Fig10Point]:
+    """All four series of Fig. 10."""
+    points = []
+    for service in ("registry", "index"):
+        for secure in (False, True):
+            for clients in client_counts:
+                points.append(
+                    run_fig10_point(service, secure, clients,
+                                    n_types=n_types, seed=seed)
+                )
+    return points
+
+
+def format_fig10(points: List[Fig10Point]) -> str:
+    xs = sorted({p.clients for p in points})
+    series: Dict[str, List[float]] = {}
+    for point in points:
+        series.setdefault(f"{point.service}/{point.security}", []).append(
+            round(point.throughput, 1)
+        )
+    return format_multi_series(
+        "Fig. 10 — throughput (req/s) vs concurrent clients",
+        "clients", xs, series,
+    )

@@ -1,0 +1,90 @@
+"""Fig. 11: throughput as the number of registered types grows.
+
+"Throughput of Index Service decreases significantly with increasing
+number of resources whereas ... throughput of an activity type registry
+is consistent."  And the overload observation: "sometimes Index Service
+stops responding when we register more than 130 activity type resources
+in it and number of concurrent clients exceeds 10."
+
+Reproduction: same setup as Fig. 10 with a fixed client population and
+a sweep over the registry size.  The registry's hash-table lookups stay
+flat; the index's XPath scans grow linearly, and past ~130 resources
+with >10 clients the heap-pressure cliff (GC thrash) collapses its
+throughput to near zero.  ``run_collapse_probe`` reproduces the paper's
+"stops responding" observation directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.fig10 import run_fig10_point
+from repro.experiments.report import format_multi_series
+
+DEFAULT_SIZES = (10, 25, 50, 75, 100, 130, 150, 175, 200)
+DEFAULT_CLIENTS = 8
+
+
+@dataclass
+class Fig11Point:
+    service: str
+    security: str
+    resources: int
+    clients: int
+    throughput: float
+
+
+def run_fig11(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    clients: int = DEFAULT_CLIENTS,
+    seed: int = 5,
+    include_https: bool = True,
+) -> List[Fig11Point]:
+    """Throughput vs registry size for both services (+/- security)."""
+    points = []
+    security_options = (False, True) if include_https else (False,)
+    for service in ("registry", "index"):
+        for secure in security_options:
+            for size in sizes:
+                measured = run_fig10_point(
+                    service, secure, clients, n_types=size, seed=seed
+                )
+                points.append(
+                    Fig11Point(
+                        service=service,
+                        security=measured.security,
+                        resources=size,
+                        clients=clients,
+                        throughput=measured.throughput,
+                    )
+                )
+    return points
+
+
+def run_collapse_probe(
+    resources: int = 150, clients: int = 12, seed: int = 5
+) -> Fig11Point:
+    """The paper's 'stops responding' case: >130 resources, >10 clients."""
+    measured = run_fig10_point("index", False, clients, n_types=resources, seed=seed)
+    return Fig11Point(
+        service="index",
+        security="http",
+        resources=resources,
+        clients=clients,
+        throughput=measured.throughput,
+    )
+
+
+def format_fig11(points: List[Fig11Point]) -> str:
+    xs = sorted({p.resources for p in points})
+    series: Dict[str, List[float]] = {}
+    for point in points:
+        series.setdefault(f"{point.service}/{point.security}", []).append(
+            round(point.throughput, 1)
+        )
+    return format_multi_series(
+        f"Fig. 11 — throughput (req/s) vs registered activity types "
+        f"({points[0].clients if points else '?'} clients)",
+        "resources", xs, series,
+    )

@@ -1,0 +1,110 @@
+"""GLARE: Grid activity registration, deployment and provisioning.
+
+The paper's primary contribution, reassembled from its parts:
+
+* :mod:`repro.glare.model` — activity types and deployments;
+* :mod:`repro.glare.hierarchy` — the abstract/concrete type DAG;
+* :mod:`repro.glare.registry` — the Activity Type Registry and Activity
+  Deployment Registry (hash-table named lookup + XPath aggregation);
+* :mod:`repro.glare.deployfile` — declarative installation recipes;
+* :mod:`repro.glare.handlers` — Expect and JavaCoG deployment handlers;
+* :mod:`repro.glare.provisioning` — the Deployment Manager (on-demand,
+  dependency-resolving installation);
+* :mod:`repro.glare.rdm` — the per-site RDM frontend service;
+* :mod:`repro.glare.superpeer` — the self-managing super-peer overlay;
+* :mod:`repro.glare.monitors` — Index Monitor, Cache Refresher,
+  Deployment Status Monitor;
+* :mod:`repro.glare.lifecycle` — expiry cascades and replica limits.
+"""
+
+from repro.glare.deployfile import (
+    BuildRecipe,
+    BuildStep,
+    ExpectDialog,
+    ProducedFile,
+    parse_deployfile,
+)
+from repro.glare.errors import (
+    ConstraintViolation,
+    CycleInHierarchy,
+    DeploymentFailed,
+    DeploymentNotFound,
+    GlareError,
+    InvalidTypeDescription,
+    LeaseError,
+    NotAuthorized,
+    TypeMissingForDeployment,
+    TypeNotFound,
+)
+from repro.glare.handlers import (
+    DeploymentHandler,
+    ExpectHandler,
+    InstallReport,
+    JavaCoGHandler,
+)
+from repro.glare.hierarchy import TypeHierarchy
+from repro.glare.lifecycle import LifecycleController
+from repro.glare.model import (
+    ActivityDeployment,
+    ActivityFunction,
+    ActivityType,
+    DeploymentKind,
+    DeploymentStatus,
+    InstallationSpec,
+    TypeKind,
+)
+from repro.glare.monitors import CacheRefresher, DeploymentStatusMonitor, IndexMonitor
+from repro.glare.provisioning import DeploymentManager
+from repro.glare.rdm import RDM_SERVICE, GlareRDMService, RequestManager
+from repro.glare.registry import (
+    ADR_SERVICE,
+    ATR_SERVICE,
+    ActivityDeploymentRegistry,
+    ActivityTypeRegistry,
+)
+from repro.glare.superpeer import MemberInfo, OverlayManager, OverlayView
+
+__all__ = [
+    "ADR_SERVICE",
+    "ATR_SERVICE",
+    "ActivityDeployment",
+    "ActivityDeploymentRegistry",
+    "ActivityFunction",
+    "ActivityType",
+    "ActivityTypeRegistry",
+    "BuildRecipe",
+    "BuildStep",
+    "CacheRefresher",
+    "ConstraintViolation",
+    "CycleInHierarchy",
+    "DeploymentFailed",
+    "DeploymentHandler",
+    "DeploymentKind",
+    "DeploymentManager",
+    "DeploymentNotFound",
+    "DeploymentStatus",
+    "DeploymentStatusMonitor",
+    "ExpectDialog",
+    "ExpectHandler",
+    "GlareError",
+    "GlareRDMService",
+    "IndexMonitor",
+    "InstallReport",
+    "InstallationSpec",
+    "InvalidTypeDescription",
+    "JavaCoGHandler",
+    "LeaseError",
+    "LifecycleController",
+    "MemberInfo",
+    "NotAuthorized",
+    "OverlayManager",
+    "OverlayView",
+    "ProducedFile",
+    "RDM_SERVICE",
+    "RequestManager",
+    "TypeHierarchy",
+    "TypeKind",
+    "TypeMissingForDeployment",
+    "TypeNotFound",
+    "parse_deployfile",
+]

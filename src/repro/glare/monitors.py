@@ -1,0 +1,230 @@
+"""RDM background components: Index Monitor, Cache Refresher,
+Deployment Status Monitor (paper §3.2/§3.3).
+
+* **Index Monitor** — "periodically probes the GT4 Default Index to see
+  whether it is a community index or local index.  A GLARE service on a
+  site with community index becomes super-peer election coordinator".
+  It re-runs the election when community membership changes.
+
+* **Cache Refresher** — "updates cached resources if and when they
+  change on the source Grid site.  Outdated resources are discarded
+  automatically."  Change detection uses the ``LastUpdateTime``
+  reference property of the source EPR (paper Fig. 6).
+
+* **Deployment Status Monitor** — "checks the status of each locally
+  registered activity deployment and updates its resource and endpoint
+  reference": it verifies executables still exist on disk, refreshes
+  the LUT, and flags vanished deployments as failed (which the
+  lifecycle machinery may then relocate to another site).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List
+
+from repro.glare.model import ActivityDeployment, ActivityType, DeploymentKind, DeploymentStatus
+from repro.glare.registry import epr_from_wire
+from repro.net.network import RpcTimeout
+from repro.simkernel.errors import Interrupt, OfflineError
+from repro.site.filesystem import FilesystemError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.glare.rdm import GlareRDMService
+
+
+class Monitor:
+    """Base: a periodic background process owned by one RDM service."""
+
+    NAME = "monitor"
+
+    def __init__(self, rdm: "GlareRDMService", interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("monitor interval must be positive")
+        self.rdm = rdm
+        self.interval = interval
+        self._proc = None
+        self.cycles = 0
+
+    @property
+    def sim(self):
+        return self.rdm.sim
+
+    def start(self) -> None:
+        if self._proc is not None:
+            return
+        self._proc = self.sim.process(self._loop(), name=f"{self.NAME}:{self.rdm.node_name}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+
+    def _loop(self) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self.interval)
+                if not self.rdm.node.online:
+                    continue
+                yield from self.tick()
+                self.cycles += 1
+        except Interrupt:
+            return
+
+    def tick(self) -> Generator:  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield
+
+
+class IndexMonitor(Monitor):
+    """Probe the local Default Index; coordinate elections when root."""
+
+    NAME = "index-monitor"
+
+    def __init__(self, rdm: "GlareRDMService", interval: float = 20.0) -> None:
+        super().__init__(rdm, interval)
+        self._last_membership: List[str] = []
+
+    def tick(self) -> Generator:
+        index = self.rdm.node.services.get("mds-index")
+        if index is None:
+            return
+        try:
+            probe = yield from self.rdm.network.call(
+                self.rdm.node_name, self.rdm.node_name, index.name, "probe"
+            )
+        except Exception:
+            return
+        if not probe["community"]:
+            return
+        # I host the community index: I am the election coordinator.
+        membership = yield from self.rdm.network.call(
+            self.rdm.node_name, self.rdm.node_name, index.name, "list_sites"
+        )
+        if sorted(membership) != sorted(self._last_membership):
+            self._last_membership = list(membership)
+            yield from self.rdm.overlay.run_election(list(membership))
+
+
+class CacheRefresher(Monitor):
+    """Revalidate cached types/deployments against their source LUTs."""
+
+    NAME = "cache-refresher"
+
+    def __init__(self, rdm: "GlareRDMService", interval: float = 30.0) -> None:
+        super().__init__(rdm, interval)
+        self.refreshed = 0
+        self.discarded = 0
+
+    def tick(self) -> Generator:
+        yield from self._refresh_types()
+        yield from self._refresh_deployments()
+
+    def _refresh_types(self) -> Generator:
+        atr = self.rdm.atr
+        for name, source in list(atr.cache_sources.items()):
+            cached = atr.cache.lookup(name)
+            if cached is None:
+                atr.drop_cached_type(name)
+                continue
+            try:
+                lut = yield from self.rdm.network.call_with_timeout(
+                    self.rdm.node_name, source.site, source.service, "get_lut",
+                    payload=name, timeout=8.0,
+                )
+            except (OfflineError, RpcTimeout):
+                continue  # source temporarily unreachable: keep the copy
+            if lut is None:
+                # the source dropped the resource: discard the stale copy
+                atr.drop_cached_type(name)
+                self.discarded += 1
+            elif lut > source.last_update_time:
+                wire = yield from self._safe_fetch(
+                    source.site, source.service, "lookup_type", name
+                )
+                if wire is not None:
+                    at = ActivityType.from_xml(wire["xml"])
+                    atr.add_cached_type(at, epr_from_wire(wire["epr"]))
+                    self.refreshed += 1
+
+    def _refresh_deployments(self) -> Generator:
+        adr = self.rdm.adr
+        for key, source in list(adr.cache_sources.items()):
+            cached = adr.cache.lookup(key)
+            if cached is None:
+                adr.drop_cached_deployment(key)
+                continue
+            try:
+                lut = yield from self.rdm.network.call_with_timeout(
+                    self.rdm.node_name, source.site, source.service, "get_lut",
+                    payload=key, timeout=8.0,
+                )
+            except (OfflineError, RpcTimeout):
+                continue
+            if lut is None:
+                adr.drop_cached_deployment(key)
+                self.discarded += 1
+            elif lut > source.last_update_time:
+                wire = yield from self._safe_fetch(
+                    source.site, source.service, "get_deployment", key
+                )
+                if wire is not None:
+                    deployment = ActivityDeployment.from_xml(wire["xml"])
+                    adr.add_cached_deployment(deployment, epr_from_wire(wire["epr"]))
+                    self.refreshed += 1
+
+    def _safe_fetch(self, site: str, service: str, method: str, key: str) -> Generator:
+        try:
+            wire = yield from self.rdm.network.call_with_timeout(
+                self.rdm.node_name, site, service, method, payload=key, timeout=8.0
+            )
+            return wire
+        except (OfflineError, RpcTimeout):
+            return None
+
+
+class DeploymentStatusMonitor(Monitor):
+    """Verify local deployments and refresh their LUTs."""
+
+    NAME = "deployment-status-monitor"
+
+    def __init__(self, rdm: "GlareRDMService", interval: float = 25.0,
+                 relocate_failed: bool = False) -> None:
+        super().__init__(rdm, interval)
+        self.relocate_failed = relocate_failed
+        self.failures_detected = 0
+
+    def tick(self) -> Generator:
+        adr = self.rdm.adr
+        fs = self.rdm.site.fs
+        for key, deployment in list(adr.deployments.items()):
+            healthy = True
+            if deployment.kind == DeploymentKind.EXECUTABLE:
+                try:
+                    entry = fs.get_file(deployment.path)
+                    healthy = entry.executable
+                except FilesystemError:
+                    healthy = False
+            yield from self.rdm.network.call(
+                self.rdm.node_name, self.rdm.node_name,
+                adr.name, "update_status",
+                payload={
+                    "key": key,
+                    "status": (DeploymentStatus.ACTIVE if healthy
+                               else DeploymentStatus.FAILED).value,
+                },
+            )
+            if not healthy:
+                self.failures_detected += 1
+                if self.relocate_failed:
+                    yield from self._relocate(deployment)
+
+    def _relocate(self, deployment: ActivityDeployment) -> Generator:
+        """'If a deployment fails on one site, it can be moved to another.'"""
+        at = self.rdm.atr.find_type(deployment.type_name)
+        if at is None or not at.installable:
+            return
+        try:
+            yield from self.rdm.deployment_manager.deploy_on_demand(at)
+            self.rdm.adr.remove_local_deployment(deployment.key)
+        except Exception:
+            pass  # relocation is best-effort; the failure stays flagged

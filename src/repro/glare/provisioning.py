@@ -1,0 +1,410 @@
+"""The Deployment Manager: on-demand installation orchestration.
+
+This implements the discovery-triggered pipeline of paper §2.2:
+
+1. analyse the concrete type (constraints, dependencies, deploy-file);
+2. choose a target site satisfying the installation constraints;
+3. recursively provision missing dependencies *on the target site*
+   (Java and Ant before JPOVray, in the paper's running example);
+4. transfer the deploy-file, hand it to the deployment handler on the
+   target site, and execute the build;
+5. identify the resulting deployments (declared names or ``bin/``
+   exploration) and register them in the target site's deployment
+   registry;
+6. notify the site administrator; on failure (or ``mode=manual``) the
+   notification replaces the installation, and other candidate sites
+   are tried — "if a deployment fails on one site, it can be moved to
+   another site" (§3.3).
+
+The manager runs inside the *initiating* site's RDM service but the
+installation itself executes on the target through the target RDM's
+``deploy`` operation, so all costs land on the right hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.glare.deployfile import parse_deployfile
+from repro.glare.errors import ConstraintViolation, DeploymentFailed
+from repro.glare.handlers import ExpectHandler, InstallReport, JavaCoGHandler
+from repro.glare.model import (
+    ActivityDeployment,
+    ActivityType,
+    DeploymentKind,
+    DeploymentStatus,
+)
+from repro.glare.registry import deployment_to_wire, epr_from_wire
+from repro.gridftp.service import TransferError
+from repro.net.network import RpcTimeout
+from repro.simkernel.errors import OfflineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.glare.rdm import GlareRDMService
+
+#: cost of e-mailing the site administrator (Table 1 "Notification": 345 ms)
+NOTIFICATION_COST = 0.345
+
+
+@dataclass
+class ProvisioningStats:
+    """Counters a DeploymentManager accumulates."""
+
+    installs_attempted: int = 0
+    installs_succeeded: int = 0
+    installs_failed: int = 0
+    dependencies_installed: int = 0
+    notifications_sent: int = 0
+    reports: List[InstallReport] = field(default_factory=list)
+
+
+class DeploymentManager:
+    """On-demand provisioning logic, hosted by one RDM service."""
+
+    def __init__(self, rdm: "GlareRDMService", handler: str = "expect") -> None:
+        if handler not in ("expect", "javacog"):
+            raise ValueError(f"unknown deployment handler {handler!r}")
+        self.rdm = rdm
+        self.handler_kind = handler
+        self.stats = ProvisioningStats()
+        #: in-flight installations by type name: concurrent requests for
+        #: the same type piggyback on the first one instead of racing to
+        #: install duplicates (single-flight)
+        self._in_flight: Dict[str, object] = {}
+        self.piggybacked = 0
+
+    @property
+    def sim(self):
+        return self.rdm.sim
+
+    # -- initiator side -----------------------------------------------------
+
+    def deploy_on_demand(
+        self,
+        activity_type: ActivityType,
+        preferred_site: Optional[str] = None,
+        exclude_sites: tuple = (),
+        _depth: int = 0,
+    ) -> Generator:
+        """Install ``activity_type`` somewhere suitable; yields wires.
+
+        Returns the list of freshly registered deployment wire dicts.
+        Tries candidate sites in order until one succeeds.
+        """
+        if _depth > 8:
+            raise DeploymentFailed(
+                f"dependency recursion too deep while deploying {activity_type.name!r}"
+            )
+        # single-flight: if the same type is already being installed by
+        # this site's deployment manager, wait for that result instead
+        # of installing a duplicate
+        pending = self._in_flight.get(activity_type.name)
+        if pending is not None:
+            self.piggybacked += 1
+            outcome = yield pending
+            if isinstance(outcome, dict) and outcome.get("ok"):
+                return outcome["wires"]
+            raise DeploymentFailed(
+                f"concurrent installation of {activity_type.name!r} failed"
+            )
+        done_event = self.sim.event(name=f"install:{activity_type.name}")
+        self._in_flight[activity_type.name] = done_event
+        try:
+            wires = yield from self._deploy_on_demand_inner(
+                activity_type, preferred_site, exclude_sites, _depth
+            )
+            done_event.succeed({"ok": True, "wires": wires})
+            return wires
+        except BaseException:
+            done_event.succeed({"ok": False})
+            raise
+        finally:
+            self._in_flight.pop(activity_type.name, None)
+
+    def _deploy_on_demand_inner(
+        self,
+        activity_type: ActivityType,
+        preferred_site: Optional[str],
+        exclude_sites: tuple,
+        _depth: int,
+    ) -> Generator:
+        if not activity_type.is_concrete or activity_type.installation is None:
+            raise DeploymentFailed(
+                f"type {activity_type.name!r} has no installation procedure"
+            )
+        spec = activity_type.installation
+        if spec.mode == "manual":
+            yield from self.notify_admin(
+                self.rdm.node_name, activity_type,
+                reason="manual installation requested",
+            )
+            raise DeploymentFailed(
+                f"type {activity_type.name!r} is manual-install only; "
+                "administrator notified"
+            )
+
+        candidates = yield from self._candidate_sites(spec.constraints, preferred_site)
+        candidates = [c for c in candidates if c not in set(exclude_sites)]
+        if not candidates:
+            raise ConstraintViolation(
+                f"no site satisfies constraints {spec.constraints} for "
+                f"{activity_type.name!r}"
+            )
+
+        last_error: Optional[Exception] = None
+        for target in candidates:
+            self.stats.installs_attempted += 1
+            try:
+                wires = yield from self._deploy_on(activity_type, target, _depth)
+                self.stats.installs_succeeded += 1
+                return wires
+            except (DeploymentFailed, TransferError, OfflineError, RpcTimeout) as error:
+                self.stats.installs_failed += 1
+                last_error = error
+                # failure on one site: notify its admin, move to another
+                yield from self.notify_admin(target, activity_type, reason=str(error))
+                continue
+        raise DeploymentFailed(
+            f"deployment of {activity_type.name!r} failed on all "
+            f"{len(candidates)} candidate site(s): {last_error}"
+        )
+
+    def _candidate_sites(
+        self, constraints: Dict[str, str], preferred_site: Optional[str]
+    ) -> Generator:
+        """Sites satisfying the installation constraints, best first."""
+        names = yield from self.rdm.known_sites()
+        if preferred_site:
+            names = [preferred_site] + [n for n in names if n != preferred_site]
+        candidates: List[str] = []
+        for name in names:
+            try:
+                info = yield from self.rdm.rpc(name, "site_info", None, timeout=8.0)
+            except (OfflineError, RpcTimeout):
+                continue
+            from repro.site.description import SiteDescription
+
+            desc = SiteDescription(
+                name=info["name"],
+                platform=info["platform"],
+                os=info["os"],
+                arch=info["arch"],
+                processor_speed_mhz=info["processor_speed_mhz"],
+                memory_mb=info["memory_mb"],
+                processors=info["processors"],
+                extra=info.get("extra", {}),
+            )
+            if desc.satisfies(constraints):
+                candidates.append(name)
+        return candidates
+
+    def _deploy_on(
+        self, activity_type: ActivityType, target: str, depth: int
+    ) -> Generator:
+        """Provision dependencies, then install on ``target``."""
+        spec = activity_type.installation
+        assert spec is not None
+        # Dependencies first — each must have a deployment on the target.
+        for dep_name in spec.dependencies:
+            dep_wires = yield from self.rdm.rpc(
+                target, "local_lookup", {"type": dep_name}
+            )
+            deployed_here = [
+                w for w in dep_wires["deployments"]
+                if ActivityDeployment.from_xml(w["xml"]).site == target
+            ]
+            if deployed_here:
+                continue
+            dep_type = yield from self.rdm.request_manager.discover_type(dep_name)
+            if dep_type is None:
+                raise DeploymentFailed(
+                    f"dependency {dep_name!r} of {activity_type.name!r} is unknown"
+                )
+            yield from self.deploy_on_demand(
+                dep_type, preferred_site=target, _depth=depth + 1
+            )
+            self.stats.dependencies_installed += 1
+
+        result = yield from self.rdm.rpc(
+            target, "deploy",
+            {"type_xml": activity_type.to_xml().to_string(),
+             "requester": self.rdm.node_name,
+             "handler": self.handler_kind},
+            timeout=600.0,
+        )
+        if not result["success"]:
+            raise DeploymentFailed(result.get("error", "installation failed"))
+        # cache what the target registered
+        for wire in result["deployments"]:
+            deployment = ActivityDeployment.from_xml(wire["xml"])
+            self.rdm.adr.add_cached_deployment(deployment, epr_from_wire(wire["epr"]))
+        return result["deployments"]
+
+    # -- target side (runs under op_deploy on the target's RDM) ----------------------
+
+    def install_locally(
+        self, activity_type: ActivityType, requester: str, handler_kind: str
+    ) -> Generator:
+        """Execute the type's deploy-file on *this* site.
+
+        Returns ``{"success":, "error":, "deployments": [...],
+        "report": {...timings...}}``.
+        """
+        spec = activity_type.installation
+        if spec is None or not spec.deploy_file_url:
+            return {
+                "success": False,
+                "error": f"type {activity_type.name!r} has no deploy-file",
+                "deployments": [],
+                "report": None,
+            }
+        site = self.rdm.site
+        if not site.description.satisfies(spec.constraints):
+            return {
+                "success": False,
+                "error": f"site {site.name} violates constraints {spec.constraints}",
+                "deployments": [],
+                "report": None,
+            }
+
+        # 1. fetch the deploy-file itself
+        scratch = site.env["GLOBUS_SCRATCH_DIR"]
+        deployfile_path = f"{scratch}/{activity_type.name}.build"
+        try:
+            yield from self.rdm.gridftp.fetch_url(
+                spec.deploy_file_url, deployfile_path,
+                expected_md5=spec.deploy_file_md5,
+            )
+            recipe_xml = self.rdm.deployfile_source(spec.deploy_file_url)
+            recipe = parse_deployfile(recipe_xml)
+        except (TransferError, Exception) as error:
+            return {
+                "success": False,
+                "error": f"deploy-file unavailable: {error}",
+                "deployments": [],
+                "report": None,
+            }
+
+        # 2. make sure the type itself is registered locally first (the
+        # dynamic type registration of paper §3.1) so deployment
+        # registration below is not charged for it
+        if self.rdm.atr.find_type(activity_type.name) is None:
+            yield from self.rdm.network.call(
+                site.name, site.name, self.rdm.atr.name, "register_type",
+                payload={"xml": activity_type.to_xml().to_string()},
+            )
+
+        # 3. run the handler
+        if handler_kind == "javacog":
+            handler = JavaCoGHandler(
+                site, self.rdm.gridftp, self.rdm.network, caller=requester
+            )
+        else:
+            handler = ExpectHandler(site, self.rdm.gridftp)
+        report = yield from handler.execute(recipe)
+        self.stats.reports.append(report)
+        if not report.success:
+            return {
+                "success": False,
+                "error": report.error,
+                "deployments": [],
+                "report": _report_wire(report),
+            }
+
+        # 4. identify + register deployments
+        deployments = self._identify_deployments(activity_type, report)
+        wires = []
+        registration_start = self.sim.now
+        for deployment in deployments:
+            yield from self.rdm.rpc_local_adr_register(
+                deployment, type_xml=activity_type.to_xml().to_string()
+            )
+            epr = self.rdm.adr.home.lookup(deployment.key).epr
+            wires.append(deployment_to_wire(deployment, epr))
+        registration_time = self.sim.now - registration_start
+
+        # 5. notify the site administrator of the new installation
+        yield from self.notify_admin(site.name, activity_type, reason="installed")
+
+        wire_report = _report_wire(report)
+        wire_report["registration_time"] = registration_time
+        return {
+            "success": True,
+            "error": "",
+            "deployments": wires,
+            "report": wire_report,
+        }
+
+    def _identify_deployments(
+        self, activity_type: ActivityType, report: InstallReport
+    ) -> List[ActivityDeployment]:
+        """Declared deployment names, else ``bin/`` exploration."""
+        site = self.rdm.site
+        home = f"{site.env['DEPLOYMENT_DIR']}/{activity_type.name.lower()}"
+        executables = site.fs.find_executables(site.env["DEPLOYMENT_DIR"])
+        recent = [e for e in executables if e.created_at >= report.steps[0].started_at]
+        declared = set(activity_type.deployment_names)
+
+        chosen = []
+        if declared:
+            for entry in recent:
+                if entry.name in declared:
+                    chosen.append(entry)
+            service_names = declared - {e.name for e in chosen}
+        else:
+            chosen = recent
+            service_names = set()
+
+        deployments = []
+        for entry in chosen:
+            deployments.append(
+                ActivityDeployment(
+                    name=entry.name,
+                    type_name=activity_type.name,
+                    kind=DeploymentKind.EXECUTABLE,
+                    site=site.name,
+                    path=entry.path,
+                    home=entry.path.rsplit("/bin/", 1)[0] if "/bin/" in entry.path else home,
+                    status=DeploymentStatus.ACTIVE,
+                )
+            )
+        # declared names starting with "WS-" (or unmatched by files) are
+        # web-service deployments hosted in the site's WSRF container
+        for name in sorted(service_names):
+            deployments.append(
+                ActivityDeployment(
+                    name=name,
+                    type_name=activity_type.name,
+                    kind=DeploymentKind.SERVICE,
+                    site=site.name,
+                    endpoint=f"https://{site.name}/wsrf/services/{name}",
+                    home=home,
+                    status=DeploymentStatus.ACTIVE,
+                )
+            )
+        return deployments
+
+    # -- shared -----------------------------------------------------------------
+
+    def notify_admin(self, site: str, activity_type: ActivityType, reason: str) -> Generator:
+        """E-mail the target site's administrator (simulated SMTP cost)."""
+        yield self.sim.timeout(NOTIFICATION_COST)
+        self.stats.notifications_sent += 1
+        self.rdm.admin_notifications.append(
+            {"site": site, "type": activity_type.name, "reason": reason,
+             "at": self.sim.now}
+        )
+
+
+def _report_wire(report: InstallReport) -> Dict[str, object]:
+    return {
+        "recipe": report.recipe,
+        "site": report.site,
+        "handler": report.handler,
+        "success": report.success,
+        "communication_time": report.communication_time,
+        "installation_time": report.installation_time,
+        "handler_overhead": report.handler_overhead,
+        "steps": len(report.steps),
+    }

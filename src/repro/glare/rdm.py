@@ -1,0 +1,728 @@
+"""The GLARE Registration, Deployment and Monitoring (RDM) service.
+
+"The GLARE RDM service is the main frontend service which consists of
+components including Request Manager, Deployment Manager, Cache
+Refresher, Index Monitor and Deployment Status Monitor." (paper §3.2)
+
+One RDM service runs on every Grid site, colocated with that site's
+Activity Type Registry, Activity Deployment Registry, GridFTP endpoint
+and Default Index.  Clients (schedulers, enactment engines) talk only
+to their *local* RDM — "clients don't have to consider or remember a
+centralized service" (§3.2, Local Access) — and the RDM resolves
+requests through the super-peer overlay:
+
+    local registries → group peers → super-peer → other super-peers
+
+with each hop's results cached locally (two-level cache: site cache
+and super-peer cache).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.glare.errors import DeploymentNotFound, GlareError, TypeNotFound
+from repro.glare.model import (
+    ActivityDeployment,
+    ActivityType,
+    DeploymentKind,
+    InstallationSpec,
+    TypeKind,
+)
+from repro.glare.provisioning import DeploymentManager
+from repro.glare.registry import (
+    ActivityDeploymentRegistry,
+    ActivityTypeRegistry,
+    ADR_SERVICE,
+    ATR_SERVICE,
+    deployment_to_wire,
+    epr_from_wire,
+    type_to_wire,
+)
+from repro.glare.superpeer import OverlayManager
+from repro.gram.jobs import JobSpec
+from repro.gridftp.service import GridFtpService
+from repro.net.message import Message, Response
+from repro.net.network import RpcTimeout
+from repro.net.service import Service
+from repro.simkernel.errors import OfflineError
+from repro.site.gridsite import GridSite
+
+RDM_SERVICE = "glare-rdm"
+
+
+class RequestManager:
+    """Discovery logic: local → peers → super-peer → other super-peers."""
+
+    def __init__(self, rdm: "GlareRDMService") -> None:
+        self.rdm = rdm
+        self.requests = 0
+        self.resolved_locally = 0
+        self.resolved_in_group = 0
+        self.resolved_via_superpeer = 0
+        self.resolved_by_deployment = 0
+
+    @property
+    def sim(self):
+        return self.rdm.sim
+
+    # -- local knowledge (no RPC) ------------------------------------------------
+
+    def local_lookup(self, type_name: str) -> Dict[str, List[Dict]]:
+        """Everything this site knows about ``type_name`` right now.
+
+        The answer carries the *full relevant hierarchy slice* — the
+        requested type, its concrete descendants, and every ancestor
+        linking them — so a remote site caching the result can rebuild
+        the abstract→concrete resolution path locally.
+        """
+        atr, adr = self.rdm.atr, self.rdm.adr
+        type_wires: List[Dict] = []
+        deployment_wires: List[Dict] = []
+        # A site can contribute even when it never registered the
+        # requested name itself: a locally known concrete type may list
+        # the requested (remote) type among its base types, and the
+        # hierarchy tracks those dangling edges.  This is how a type
+        # "registered dynamically with one site can be discovered
+        # automatically by other sites" when the abstract ancestor and
+        # the concrete descendant live on different sites.
+        concrete = atr.hierarchy.concrete_types_for(type_name)
+        if atr.find_type(type_name) is not None or concrete:
+            relevant: List[str] = (
+                [type_name] if atr.hierarchy.get(type_name) is not None else []
+            )
+            for at in concrete:
+                if at.name not in relevant:
+                    relevant.append(at.name)
+                for ancestor in atr.hierarchy.ancestors(at.name):
+                    if ancestor not in relevant:
+                        relevant.append(ancestor)
+            for name in relevant:
+                node = atr.hierarchy.get(name)
+                if node is None:
+                    continue  # dangling base-type reference
+                epr = atr.authoritative_epr(name) or atr._epr_for(name)
+                type_wires.append(type_to_wire(node, epr))
+            for at in concrete:
+                for deployment in adr.all_deployments_for(at.name):
+                    epr_d = (
+                        adr.cache_sources.get(deployment.key)
+                        or adr._epr_for(deployment.key)
+                    )
+                    deployment_wires.append(deployment_to_wire(deployment, epr_d))
+        return {"types": type_wires, "deployments": deployment_wires}
+
+    def _cache_results(self, result: Dict[str, List[Dict]]) -> None:
+        """Fold remote lookup results into the local caches."""
+        atr, adr = self.rdm.atr, self.rdm.adr
+        for wire in result.get("types", []):
+            at = ActivityType.from_xml(wire["xml"])
+            if atr.home.lookup(at.name) is None:
+                atr.add_cached_type(at, epr_from_wire(wire["epr"]))
+        for wire in result.get("deployments", []):
+            deployment = ActivityDeployment.from_xml(wire["xml"])
+            if deployment.key not in adr.deployments:
+                adr.add_cached_deployment(deployment, epr_from_wire(wire["epr"]))
+
+    # -- fan-out helpers -------------------------------------------------------------
+
+    def _safe_rpc(self, site: str, method: str, payload: Any,
+                  timeout: float = 20.0) -> Generator:
+        try:
+            value = yield from self.rdm.rpc(site, method, payload, timeout=timeout)
+            return value
+        except (OfflineError, RpcTimeout, GlareError):
+            return None
+
+    def fanout(self, sites: List[str], method: str, payload: Any) -> Generator:
+        """Query several sites in parallel; drop the failures."""
+        procs = [
+            self.sim.process(self._safe_rpc(site, method, payload),
+                             name=f"fanout:{method}->{site}")
+            for site in sites
+        ]
+        if procs:
+            yield self.sim.all_of(procs)
+        return [p.value for p in procs if p.ok and p.value is not None]
+
+    # -- the main resolution walk -------------------------------------------------------
+
+    def get_deployments(self, type_name: str, auto_deploy: bool = True,
+                        exclude_sites: tuple = ()) -> Generator:
+        """Paper Example 3: resolve a type to usable deployment wires.
+
+        ``exclude_sites`` lets a client (e.g. an enactment engine
+        re-mapping after a site failure) rule out deployments on known
+        failed sites — including for any fresh on-demand installation.
+        """
+        self.requests += 1
+        excluded = set(exclude_sites)
+
+        def _usable(wires):
+            if not excluded:
+                return wires
+            return [
+                w for w in wires
+                if ActivityDeployment.from_xml(w["xml"]).site not in excluded
+            ]
+
+        # With caching enabled, local knowledge (authoritative + cached)
+        # short-circuits the walk.  With caching disabled, every request
+        # must gather the full deployment list from the distributed
+        # registries — this is exactly the contrast paper Fig. 12
+        # measures (cache on vs off over 1/3/7 sites).
+        cache_on = self.rdm.adr.cache_enabled
+        local = self.local_lookup(type_name)
+        if cache_on and _usable(local["deployments"]):
+            self.resolved_locally += 1
+            return _usable(local["deployments"])
+
+        view = self.rdm.overlay.view
+        me = self.rdm.node_name
+        gathered = [local]
+
+        # iterative lookup across my group
+        peers = [s for s in view.peers_of(me)]
+        if peers:
+            results = yield from self.fanout(peers, "local_lookup", {"type": type_name})
+            gathered.extend(results)
+            merged = _merge(gathered)
+            self._cache_results(merged)
+            # the fan-out gathered every group member's entries, so the
+            # merged set is complete for this group with or without cache
+            if _usable(merged["deployments"]):
+                self.resolved_in_group += 1
+                return _usable(merged["deployments"])
+
+        # super-peer escalation
+        sp_result: Optional[Dict] = None
+        if self.rdm.overlay.is_super_peer:
+            sp_result = yield from self.super_peer_lookup(type_name, forwarded=False)
+        elif view.super_peer and view.super_peer != me:
+            sp_result = yield from self._safe_rpc(
+                view.super_peer, "sp_lookup",
+                {"type": type_name, "forwarded": False}, timeout=30.0,
+            )
+        if sp_result:
+            gathered.append(sp_result)
+            self._cache_results(sp_result)
+        merged = _merge(gathered)
+        if _usable(merged["deployments"]):
+            if sp_result and _usable(sp_result["deployments"]):
+                self.resolved_via_superpeer += 1
+            else:
+                self.resolved_in_group += 1
+            return _usable(merged["deployments"])
+
+        # nothing deployed anywhere: on-demand deployment
+        if auto_deploy:
+            concrete = self._pick_installable(type_name, gathered)
+            if concrete is None:
+                discovered = yield from self.discover_type(type_name)
+                if discovered is not None:
+                    concrete = (
+                        self._pick_installable(type_name, gathered)
+                        or (discovered if discovered.installable else None)
+                    )
+            if concrete is not None:
+                wires = yield from self.rdm.deployment_manager.deploy_on_demand(
+                    concrete, exclude_sites=tuple(excluded)
+                )
+                self.resolved_by_deployment += 1
+                return wires
+        if self.rdm.atr.find_type(type_name) is None:
+            raise TypeNotFound(f"activity type {type_name!r} unknown in the VO")
+        raise DeploymentNotFound(
+            f"no deployment for {type_name!r} and on-demand installation "
+            "was not possible"
+        )
+
+    def super_peer_lookup(self, type_name: str, forwarded: bool) -> Generator:
+        """Super-peer body: own group first, then the super group."""
+        result = self.local_lookup(type_name)
+        if result["deployments"]:
+            return result
+        view = self.rdm.overlay.view
+        me = self.rdm.node_name
+        members = [s for s in view.member_sites() if s != me]
+        if members:
+            results = yield from self.fanout(members, "local_lookup", {"type": type_name})
+            merged = _merge([result] + results)
+            self._cache_results(merged)  # the super-peer cache level
+            if merged["deployments"]:
+                return merged
+            result = merged
+        if not forwarded:
+            others = self.rdm.overlay.other_super_peers()
+            if others:
+                results = yield from self.fanout(
+                    others, "sp_lookup", {"type": type_name, "forwarded": True}
+                )
+                merged = _merge([result] + results)
+                self._cache_results(merged)
+                return merged
+        return result
+
+    def discover_type(self, type_name: str) -> Generator:
+        """Locate a type description anywhere in the VO (no deployments)."""
+        at = self.rdm.atr.find_type(type_name)
+        if at is not None:
+            return at
+        view = self.rdm.overlay.view
+        me = self.rdm.node_name
+        search_space = [s for s in view.peers_of(me)]
+        if not self.rdm.overlay.is_super_peer and view.super_peer:
+            search_space.append(view.super_peer)
+        results = yield from self.fanout(
+            search_space, "local_lookup", {"type": type_name}
+        )
+        merged = _merge(results)
+        self._cache_results(merged)
+        at = self.rdm.atr.find_type(type_name)
+        if at is not None:
+            return at
+        # escalate through the super group: either directly (when this
+        # site is a super-peer) or via this group's super-peer, which
+        # forwards to the others
+        if self.rdm.overlay.is_super_peer:
+            sp_merged = yield from self.super_peer_lookup(type_name, forwarded=False)
+            self._cache_results(sp_merged)
+            merged = _merge([merged, sp_merged])
+        elif view.super_peer and view.super_peer != me:
+            sp_result = yield from self._safe_rpc(
+                view.super_peer, "sp_lookup",
+                {"type": type_name, "forwarded": False}, timeout=30.0,
+            )
+            if sp_result:
+                self._cache_results(sp_result)
+                merged = _merge([merged, sp_result])
+        at = self.rdm.atr.find_type(type_name)
+        if at is not None:
+            return at
+        # caching may be disabled: answer from the gathered wires directly
+        for wire in merged.get("types", []):
+            candidate = ActivityType.from_xml(wire["xml"])
+            if candidate.name == type_name:
+                return candidate
+        return None
+
+    def _pick_installable(
+        self, type_name: str, gathered: Optional[List[Dict]] = None
+    ) -> Optional[ActivityType]:
+        """The concrete installable descendant GLARE would deploy.
+
+        Prefers the local hierarchy (which, with caching on, absorbed
+        every wire the walk returned); with caching *off* the gathered
+        wire sets are consulted directly, since nothing was retained.
+        """
+        atr = self.rdm.atr
+        candidates = atr.hierarchy.concrete_types_for(type_name)
+        for at in candidates:
+            if at.installable:
+                return at
+        if gathered:
+            from repro.glare.hierarchy import TypeHierarchy
+
+            scratch = TypeHierarchy()
+            for at in atr.hierarchy.all_types():
+                scratch.add(at)
+            for result in gathered:
+                if not result:
+                    continue
+                for wire in result.get("types", []):
+                    try:
+                        scratch.add(ActivityType.from_xml(wire["xml"]))
+                    except Exception:
+                        continue
+            for at in scratch.concrete_types_for(type_name):
+                if at.installable:
+                    return at
+        return None
+
+
+def _merge(results: List[Optional[Dict]]) -> Dict[str, List[Dict]]:
+    """Union lookup results, de-duplicated by resource key."""
+    types: Dict[str, Dict] = {}
+    deployments: Dict[str, Dict] = {}
+    for result in results:
+        if not result:
+            continue
+        for wire in result.get("types", []):
+            types.setdefault(wire["epr"]["key"], wire)
+        for wire in result.get("deployments", []):
+            deployments.setdefault(wire["epr"]["key"], wire)
+    return {"types": list(types.values()), "deployments": list(deployments.values())}
+
+
+class GlareRDMService(Service):
+    """The per-site GLARE frontend (see module docstring).
+
+    Parameters
+    ----------
+    site:
+        The :class:`GridSite` this RDM runs on.
+    atr / adr / gridftp:
+        Colocated registries and transfer endpoint.
+    handler:
+        Default deployment handler: ``"expect"`` or ``"javacog"``.
+    community_site / community_index_service:
+        Where the VO-root community index lives (site discovery).
+    """
+
+    SERVICE_NAME = RDM_SERVICE
+
+    def __init__(
+        self,
+        network,
+        site: GridSite,
+        atr: ActivityTypeRegistry,
+        adr: ActivityDeploymentRegistry,
+        gridftp: GridFtpService,
+        handler: str = "expect",
+        community_site: Optional[str] = None,
+        community_index_service: str = "mds-index",
+        group_size: int = 3,
+        request_demand: float = 0.002,
+    ) -> None:
+        super().__init__(network, site.name)
+        self.site = site
+        self.atr = atr
+        self.adr = adr
+        self.gridftp = gridftp
+        self.community_site = community_site
+        self.community_index_service = community_index_service
+        self.request_demand = request_demand
+
+        self.request_manager = RequestManager(self)
+        self.deployment_manager = DeploymentManager(self, handler=handler)
+        self.overlay = OverlayManager(self, group_size=group_size)
+        from repro.glare.semantics import SemanticIndex
+        from repro.glare.undeploy import Undeployer
+        from repro.glare.wrapper import WrapperGenerator
+
+        self.undeployer = Undeployer(self)
+        self.wrapper_generator = WrapperGenerator(self)
+        self.semantic_index = SemanticIndex(self.atr.hierarchy)
+        self.admin_notifications: List[Dict] = []
+        self._monitors: List = []
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def rpc(self, dst: str, method: str, payload: Any = None,
+            timeout: Optional[float] = None) -> Generator:
+        """RPC to another site's RDM service."""
+        if timeout is None:
+            value = yield from self.network.call(
+                self.node_name, dst, RDM_SERVICE, method, payload=payload
+            )
+        else:
+            value = yield from self.network.call_with_timeout(
+                self.node_name, dst, RDM_SERVICE, method, payload=payload,
+                timeout=timeout,
+            )
+        return value
+
+    def rpc_local_adr_register(self, deployment: ActivityDeployment,
+                               type_xml: Optional[str] = None) -> Generator:
+        """Register a deployment in this site's own ADR (loopback RPC)."""
+        result = yield from self.network.call(
+            self.node_name, self.node_name, ADR_SERVICE, "register_deployment",
+            payload={"xml": deployment.to_xml().to_string(), "type_xml": type_xml},
+        )
+        return result
+
+    def known_sites(self) -> Generator:
+        """VO membership: community index if available, else overlay view."""
+        if self.community_site is not None:
+            try:
+                sites = yield from self.network.call_with_timeout(
+                    self.node_name, self.community_site,
+                    self.community_index_service, "list_sites",
+                    timeout=10.0,
+                )
+                if sites:
+                    return list(sites)
+            except (OfflineError, RpcTimeout, Exception):
+                pass
+        view = self.overlay.view
+        fallback = set(view.member_sites()) | set(view.super_peers) | {self.node_name}
+        return sorted(fallback)
+
+    def deployfile_source(self, url: str) -> str:
+        """Textual content of a published deploy-file."""
+        return self.gridftp.url_catalog.content(url)
+
+    def start(self, monitors: bool = True) -> None:
+        """Launch the RDM's background components."""
+        if monitors:
+            from repro.glare.monitors import (
+                CacheRefresher,
+                DeploymentStatusMonitor,
+                IndexMonitor,
+            )
+
+            for monitor in (
+                IndexMonitor(self),
+                CacheRefresher(self),
+                DeploymentStatusMonitor(self),
+            ):
+                monitor.start()
+                self._monitors.append(monitor)
+
+    def stop(self) -> None:
+        for monitor in self._monitors:
+            monitor.stop()
+        self._monitors.clear()
+
+    # -- client-facing operations -----------------------------------------------------
+
+    def op_get_deployments(self, message: Message) -> Generator:
+        """Example 3's entry point: type name -> deployment references."""
+        payload = message.payload
+        if isinstance(payload, str):
+            type_name, auto_deploy, exclude = payload, True, ()
+        else:
+            type_name = payload["type"]
+            auto_deploy = payload.get("auto_deploy", True)
+            exclude = tuple(payload.get("exclude_sites", ()))
+        yield from self.compute(self.request_demand)
+        wires = yield from self.request_manager.get_deployments(
+            type_name, auto_deploy=auto_deploy, exclude_sites=exclude
+        )
+        return Response(value=wires, size=sum(len(w["xml"]) for w in wires) or 128)
+
+    def op_get_template(self, message: Message) -> Generator:
+        """Skeleton activity-type XML for providers (paper Example 2:
+        "Transfer template xml from local GLARE service")."""
+        name = message.payload or "MyActivity"
+        yield from self.compute(0.001)
+        template = ActivityType(
+            name=str(name),
+            kind=TypeKind.CONCRETE,
+            domain="my-domain",
+            installation=InstallationSpec(
+                mode="on-demand",
+                constraints={"platform": "Intel", "os": "Linux"},
+                deploy_file_url="http://example.org/deployfiles/my.build",
+            ),
+        )
+        return Response(value=template.to_xml().to_string())
+
+    def op_register_type(self, message: Message) -> Generator:
+        """Example 2: register an activity type with the *local* service."""
+        yield from self.compute(self.request_demand)
+        result = yield from self.network.call(
+            self.node_name, self.node_name, ATR_SERVICE, "register_type",
+            payload=message.payload,
+        )
+        return result
+
+    def op_register_deployment(self, message: Message) -> Generator:
+        yield from self.compute(self.request_demand)
+        result = yield from self.network.call(
+            self.node_name, self.node_name, ADR_SERVICE, "register_deployment",
+            payload=message.payload,
+        )
+        return result
+
+    def op_lookup_type(self, message: Message) -> Generator:
+        """Find a type description anywhere in the VO."""
+        yield from self.compute(self.request_demand)
+        at = yield from self.request_manager.discover_type(message.payload)
+        if at is None:
+            return Response(value=None)
+        epr = self.atr.authoritative_epr(at.name) or self.atr._epr_for(at.name)
+        return Response(value=type_to_wire(at, epr))
+
+    def op_local_lookup(self, message: Message) -> Generator:
+        """Peer-to-peer query: answer strictly from local knowledge."""
+        payload = message.payload
+        type_name = payload["type"] if isinstance(payload, dict) else payload
+        result = self.request_manager.local_lookup(type_name)
+        entries = len(result["types"]) + len(result["deployments"])
+        # hash lookup plus per-entry WS-Resource serialization
+        yield from self.compute(self.atr.lookup_demand + 0.0008 * entries)
+        size = sum(len(w["xml"]) for w in result["types"] + result["deployments"])
+        return Response(value=result, size=max(size, 128))
+
+    def op_sp_lookup(self, message: Message) -> Generator:
+        """Inter-group query handled by a super-peer."""
+        payload = message.payload
+        yield from self.compute(self.atr.lookup_demand)
+        result = yield from self.request_manager.super_peer_lookup(
+            payload["type"], forwarded=payload.get("forwarded", False)
+        )
+        return result
+
+    def op_deploy(self, message: Message) -> Generator:
+        """Target-side installation (invoked by a Deployment Manager)."""
+        payload = message.payload
+        activity_type = ActivityType.from_xml(payload["type_xml"])
+        yield from self.compute(self.request_demand)
+        result = yield from self.deployment_manager.install_locally(
+            activity_type,
+            requester=payload.get("requester", message.src),
+            handler_kind=payload.get("handler", self.deployment_manager.handler_kind),
+        )
+        return result
+
+    def op_site_info(self, message: Message) -> Generator:
+        d = self.site.description
+        yield from self.compute(0.0005)
+        return {
+            "name": d.name,
+            "platform": d.platform,
+            "os": d.os,
+            "arch": d.arch,
+            "processor_speed_mhz": d.processor_speed_mhz,
+            "memory_mb": d.memory_mb,
+            "processors": d.processors,
+            "extra": dict(d.extra),
+        }
+
+    def op_site_load(self, message: Message) -> Generator:
+        """Live load snapshot for GridARM's resource brokerage."""
+        yield from self.compute(0.0005)
+        cpu = self.site.cpu
+        return {
+            "site": self.node_name,
+            "load": self.site.loadavg.value,
+            "run_queue": cpu.run_queue_length,
+            "cores": cpu.cores,
+            "platform": self.site.description.platform,
+            "utilization": cpu.utilization(),
+        }
+
+    def op_ping(self, message: Message) -> Generator:
+        yield from self.compute(0.0002)
+        return {"pong": self.node_name, "at": self.sim.now}
+
+    def op_instantiate(self, message: Message) -> Generator:
+        """Run an activity instance of a locally deployed activity.
+
+        Payload: {'key': deployment key, 'demand': cpu seconds,
+        'ticket': optional lease ticket id}.
+        """
+        payload = message.payload
+        key = payload["key"]
+        demand = float(payload.get("demand", 1.0))
+        yield from self.compute(self.request_demand)
+        deployment = self.adr.deployments.get(key)
+        if deployment is None:
+            raise DeploymentNotFound(f"no local deployment {key!r} on {self.node_name}")
+
+        # lease enforcement through the colocated GridARM service
+        gridarm = self.node.services.get("gridarm-reservation")
+        if gridarm is not None:
+            yield from gridarm.authorize_instantiation(
+                key, payload.get("ticket"), client=message.src
+            )
+
+        from repro.glare.wrapper import wrapped_executable_path
+
+        started = self.sim.now
+        wrapped = wrapped_executable_path(deployment)
+        if deployment.kind == DeploymentKind.EXECUTABLE or wrapped:
+            command = wrapped or deployment.path
+            job_id = yield from self.network.call(
+                self.node_name, self.node_name, "gram", "submit",
+                payload=JobSpec(command=command, cpu_demand=demand),
+            )
+            snapshot = yield from self.network.call(
+                self.node_name, self.node_name, "gram", "wait", payload=job_id
+            )
+            exit_code = snapshot["exit_code"]
+        else:
+            yield from self.compute(demand)
+            exit_code = 0
+        finished = self.sim.now
+
+        if gridarm is not None:
+            gridarm.instantiation_finished(key, payload.get("ticket"))
+
+        # metrics for the Deployment Status Monitor / scheduler QoS
+        yield from self.network.call(
+            self.node_name, self.node_name, ADR_SERVICE, "update_status",
+            payload={
+                "key": key,
+                "last_invocation_time": started,
+                "last_execution_time": finished - started,
+                "last_return_code": exit_code,
+            },
+        )
+        return {"key": key, "exit_code": exit_code, "duration": finished - started}
+
+    # -- extension operations (paper §6 future work) -------------------------------------
+
+    def op_undeploy(self, message: Message) -> Generator:
+        """Remove a local deployment (registry entry + installed files)."""
+        payload = message.payload
+        key = payload["key"] if isinstance(payload, dict) else payload
+        remove_files = (
+            payload.get("remove_files", True) if isinstance(payload, dict) else True
+        )
+        yield from self.compute(self.request_demand)
+        result = yield from self.undeployer.undeploy(key, remove_files=remove_files)
+        return result
+
+    def op_undeploy_type(self, message: Message) -> Generator:
+        """Remove every local deployment of a type (optionally the type)."""
+        payload = message.payload
+        yield from self.compute(self.request_demand)
+        result = yield from self.undeployer.undeploy_type(
+            payload["type"],
+            remove_type=payload.get("remove_type", False),
+            remove_files=payload.get("remove_files", True),
+        )
+        return result
+
+    def op_generate_wrapper(self, message: Message) -> Generator:
+        """Otho integration: wrap an executable deployment in a service."""
+        yield from self.compute(self.request_demand)
+        key = yield from self.wrapper_generator.wrap(message.payload)
+        return {"wrapper": key}
+
+    def op_semantic_lookup(self, message: Message) -> Generator:
+        """Search types by functional description instead of by name.
+
+        Payload: {'function':, 'inputs': [...], 'outputs': [...],
+        'domain':}.  Matches run over everything this site knows
+        (local + cached types).
+        """
+        from repro.glare.semantics import SemanticQuery
+
+        query = SemanticQuery.from_wire(message.payload or {})
+        # scan cost: proportional to the number of known types
+        yield from self.compute(
+            self.atr.lookup_demand + 2e-5 * len(self.atr.hierarchy)
+        )
+        matches = self.semantic_index.search(query)
+        return [m.to_wire() for m in matches]
+
+    # -- overlay operations (delegated) ------------------------------------------------
+
+    def op_election_notice(self, message: Message) -> Generator:
+        yield from self.compute(0.001)
+        return self.overlay.handle_election_notice(message.payload)
+
+    def op_group_assign(self, message: Message) -> Generator:
+        yield from self.compute(0.001)
+        return self.overlay.handle_group_assign(message.payload)
+
+    def op_peer_assign(self, message: Message) -> Generator:
+        yield from self.compute(0.001)
+        return self.overlay.handle_peer_assign(message.payload)
+
+    def op_sp_missing(self, message: Message) -> Generator:
+        yield from self.compute(0.001)
+        result = yield from self.overlay.handle_sp_missing(message.payload)
+        return result
+
+    def op_sp_verify(self, message: Message) -> Generator:
+        yield from self.compute(0.001)
+        result = yield from self.overlay.handle_sp_verify(message.payload)
+        return result
+
+    def op_sp_update(self, message: Message) -> Generator:
+        yield from self.compute(0.001)
+        return self.overlay.handle_sp_update(message.payload)

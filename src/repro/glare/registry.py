@@ -1,0 +1,538 @@
+"""The GLARE registries: Activity Type Registry + Activity Deployment Registry.
+
+Both are WSRF services (paper §3.1): every registered type/deployment
+is a WS-Resource aggregated through a service group, so the registries
+answer XPath queries exactly like the WS-MDS index — *but named
+lookups go through a hash table*, skipping the scan entirely.  That
+asymmetry is the whole performance story of paper Figs. 10/11.
+
+Distribution model: every site runs its own ATR/ADR pair holding the
+resources registered locally, plus a *cache* of resources discovered
+from remote sites (optional, paper §3.1: "a resource discovered from a
+remote registry is optionally cached locally").  Cross-site resolution
+lives in the RDM service (:mod:`repro.glare.rdm`), not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.glare.errors import (
+    GlareError,
+    TypeMissingForDeployment,
+    TypeNotFound,
+)
+from repro.glare.hierarchy import TypeHierarchy
+from repro.glare.model import ActivityDeployment, ActivityType, DeploymentStatus
+from repro.net.message import Message, Response
+from repro.net.service import Service
+from repro.wsrf.notification import NotificationBroker
+from repro.wsrf.resource import EndpointReference, ResourceHome, WSResource
+from repro.wsrf.servicegroup import ServiceGroup
+from repro.wsrf.xpath import XPathQuery
+
+ATR_SERVICE = "activity-type-registry"
+ADR_SERVICE = "activity-deployment-registry"
+
+
+def type_to_wire(activity_type: ActivityType, epr: EndpointReference) -> Dict[str, object]:
+    """Serialize a type + its EPR for transport."""
+    return {
+        "xml": activity_type.to_xml().to_string(),
+        "epr": epr_to_wire(epr),
+    }
+
+
+def epr_to_wire(epr: EndpointReference) -> Dict[str, object]:
+    return {
+        "address": epr.address,
+        "service": epr.service,
+        "key": epr.key,
+        "lut": epr.last_update_time,
+    }
+
+
+def epr_from_wire(wire: Dict[str, object]) -> EndpointReference:
+    return EndpointReference(
+        address=str(wire["address"]),
+        service=str(wire["service"]),
+        key=str(wire["key"]),
+        last_update_time=float(wire["lut"]),
+    )
+
+
+def deployment_to_wire(
+    deployment: ActivityDeployment, epr: EndpointReference
+) -> Dict[str, object]:
+    return {
+        "xml": deployment.to_xml().to_string(),
+        "epr": epr_to_wire(epr),
+    }
+
+
+class ActivityTypeRegistry(Service):
+    """Per-site registry of activity types.
+
+    Parameters
+    ----------
+    lookup_demand:
+        CPU per named (hash-table) lookup — flat in registry size.
+    register_demand:
+        CPU per type registration (WS-Resource creation, validation).
+    per_visit_cost:
+        CPU per node visited by an XPath query (same engine as MDS).
+    """
+
+    SERVICE_NAME = ATR_SERVICE
+
+    def __init__(
+        self,
+        network,
+        node_name,
+        lookup_demand: float = 0.004,
+        register_demand: float = 0.62,
+        per_visit_cost: float = 8e-6,
+        cache_enabled: bool = True,
+    ) -> None:
+        super().__init__(network, node_name)
+        self.lookup_demand = lookup_demand
+        self.register_demand = register_demand
+        self.per_visit_cost = per_visit_cost
+        self.cache_enabled = cache_enabled
+
+        self.hierarchy = TypeHierarchy()
+        self.home = ResourceHome()  # locally registered types
+        self.cache = ResourceHome()  # remotely discovered, cached types
+        self.cache_sources: Dict[str, EndpointReference] = {}
+        self.aggregation = ServiceGroup(self.sim, name=f"atr:{node_name}")
+        #: WS-Notification: sinks subscribe to registry-change events
+        #: (the listeners of the paper's Fig. 13 experiment)
+        self.notifications = NotificationBroker(network, node_name)
+        self.lookups = 0
+        self.cache_hits = 0
+
+    # -- local bookkeeping ---------------------------------------------------
+
+    def _epr_for(self, key: str) -> EndpointReference:
+        return EndpointReference(
+            address=f"{self.node_name}/{self.name}",
+            service=self.name,
+            key=key,
+            last_update_time=self.sim.now,
+        )
+
+    def add_local_type(self, activity_type: ActivityType) -> WSResource:
+        """Insert a type authoritatively on this site (no RPC)."""
+        activity_type.registered_at = self.sim.now
+        self.hierarchy.add(activity_type)
+        resource = WSResource(
+            key=activity_type.name,
+            properties=activity_type.to_xml(),
+            owner_epr=self._epr_for(activity_type.name),
+            created_at=self.sim.now,
+        )
+        self.home.add(resource)
+        self.aggregation.add(resource.epr, resource.properties,
+                             provider=lambda r=resource: None if r.destroyed else r.properties)
+        self.notifications.publish(
+            "type-updates",
+            {"event": "registered", "type": activity_type.name,
+             "site": self.node_name},
+        )
+        return resource
+
+    def add_cached_type(
+        self, activity_type: ActivityType, source_epr: EndpointReference
+    ) -> Optional[WSResource]:
+        """Cache a type discovered from a remote registry."""
+        if not self.cache_enabled:
+            return None
+        self.hierarchy.add(activity_type)
+        resource = WSResource(
+            key=activity_type.name,
+            properties=activity_type.to_xml(),
+            owner_epr=source_epr,
+            created_at=self.sim.now,
+        )
+        self.cache.add(resource)
+        self.cache_sources[activity_type.name] = source_epr
+        return resource
+
+    def drop_cached_type(self, name: str) -> None:
+        """Evict a cached type (refresher found it stale/gone)."""
+        self.cache.remove(name)
+        self.cache_sources.pop(name, None)
+        if self.home.lookup(name) is None:
+            self.hierarchy.remove(name)
+
+    def find_type(self, name: str) -> Optional[ActivityType]:
+        """Hash lookup across local home then cache (no CPU charge)."""
+        if self.home.lookup(name) is not None or self.cache.lookup(name) is not None:
+            return self.hierarchy.get(name)
+        return None
+
+    def local_type_names(self) -> List[str]:
+        return self.home.keys()
+
+    def authoritative_epr(self, name: str) -> Optional[EndpointReference]:
+        resource = self.home.lookup(name)
+        if resource is not None:
+            return resource.epr
+        return self.cache_sources.get(name)
+
+    def remove_local_type(self, name: str) -> bool:
+        resource = self.home.remove(name)
+        if resource is None:
+            return False
+        self.aggregation.remove(resource.epr)
+        resource.destroy()
+        if self.cache.lookup(name) is None:
+            self.hierarchy.remove(name)
+        self.notifications.publish(
+            "type-updates",
+            {"event": "removed", "type": name, "site": self.node_name},
+        )
+        return True
+
+    # -- operations -------------------------------------------------------------
+
+    def op_register_type(self, message: Message) -> Generator:
+        """Register a type from its XML description (paper Example 2)."""
+        xml = message.payload["xml"] if isinstance(message.payload, dict) else message.payload
+        activity_type = ActivityType.from_xml(xml)
+        if not activity_type.provider:
+            activity_type.provider = message.src
+        # validation + WS-Resource creation cost, scaled by document size
+        yield from self.compute(self.register_demand + len(xml) * 2e-7)
+        resource = self.add_local_type(activity_type)
+        return {"registered": activity_type.name, "epr": epr_to_wire(resource.epr)}
+
+    def op_lookup_type(self, message: Message) -> Generator:
+        """Named lookup — the hash-table fast path."""
+        name = message.payload
+        yield from self.compute(self.lookup_demand)
+        self.lookups += 1
+        local = self.home.lookup(name)
+        if local is not None:
+            return Response(
+                value=type_to_wire(self.hierarchy.require(name), local.epr),
+                size=len(local.properties.to_string()),
+            )
+        cached = self.cache.lookup(name)
+        if cached is not None:
+            self.cache_hits += 1
+            return Response(
+                value=type_to_wire(self.hierarchy.require(name),
+                                   self.cache_sources[name]),
+                size=len(cached.properties.to_string()),
+            )
+        return Response(value=None)
+
+    def op_resolve_concrete(self, message: Message) -> Generator:
+        """Concrete types providing the requested (possibly abstract) type."""
+        name = message.payload
+        yield from self.compute(self.lookup_demand)
+        if self.find_type(name) is None:
+            return Response(value=None)
+        concrete = self.hierarchy.concrete_types_for(name)
+        wires = []
+        for at in concrete:
+            epr = self.authoritative_epr(at.name) or self._epr_for(at.name)
+            wires.append(type_to_wire(at, epr))
+        return Response(value=wires, size=sum(len(w["xml"]) for w in wires) or 128)
+
+    def op_query(self, message: Message) -> Generator:
+        """XPath query over the aggregated type documents."""
+        query = XPathQuery.compile(message.payload)
+        results, visits = query.evaluate(self.aggregation.documents())
+        yield from self.compute(self.lookup_demand + visits * self.per_visit_cost)
+        from repro.mds.index import _summarize  # same wire format as MDS
+
+        summaries = [_summarize(r) for r in results]
+        return Response(value=summaries, size=max(256, 128 * len(summaries)))
+
+    def op_get_lut(self, message: Message) -> Generator:
+        """LastUpdateTime of a local type resource (cache revalidation)."""
+        name = message.payload
+        yield from self.compute(0.0008)
+        resource = self.home.lookup(name)
+        return None if resource is None else resource.last_update_time
+
+    def op_remove_type(self, message: Message) -> Generator:
+        name = message.payload
+        yield from self.compute(self.lookup_demand)
+        return {"removed": self.remove_local_type(name)}
+
+    def op_list_types(self, message: Message) -> Generator:
+        yield from self.compute(self.lookup_demand)
+        return {"local": self.local_type_names(), "cached": self.cache.keys()}
+
+    def op_subscribe(self, message: Message) -> Generator:
+        """Register a notification sink for registry-change events.
+
+        Payload: {'sink_site':, 'sink_service':, 'topic': optional}.
+        """
+        payload = message.payload
+        yield from self.compute(0.002)
+        subscription = self.notifications.subscribe(
+            payload.get("topic", "type-updates"),
+            payload["sink_site"],
+            payload["sink_service"],
+        )
+        return {"subscription_id": subscription.subscription_id}
+
+    def op_unsubscribe(self, message: Message) -> Generator:
+        """Drop a subscription by id (idempotent)."""
+        subscription_id = message.payload
+        yield from self.compute(0.001)
+        for subs in list(self.notifications._topics.values()):
+            for subscription in list(subs):
+                if subscription.subscription_id == subscription_id:
+                    self.notifications.unsubscribe(subscription)
+                    return {"unsubscribed": True}
+        return {"unsubscribed": False}
+
+    def op_set_termination(self, message: Message) -> Generator:
+        """Schedule a local type's expiry (lifecycle control, §3.3)."""
+        payload = message.payload
+        yield from self.compute(0.001)
+        resource = self.home.lookup(payload["name"])
+        if resource is None:
+            raise TypeNotFound(f"no local type {payload['name']!r} on {self.node_name}")
+        resource.set_termination_time(payload["at"])
+        return {"name": payload["name"], "terminates_at": payload["at"]}
+
+
+class ActivityDeploymentRegistry(Service):
+    """Per-site registry of activity deployments.
+
+    "An activity type must be present in the type registry before
+    registration of its deployments.  ...  In case of failure in
+    discovering matching activity type, the deployment registry service
+    requests the type registry service for the dynamic registration of
+    a new activity type." (paper §3.1)
+    """
+
+    SERVICE_NAME = ADR_SERVICE
+
+    def __init__(
+        self,
+        network,
+        node_name,
+        atr: ActivityTypeRegistry,
+        lookup_demand: float = 0.004,
+        register_demand: float = 0.17,
+        cache_enabled: bool = True,
+    ) -> None:
+        super().__init__(network, node_name)
+        self.atr = atr
+        self.lookup_demand = lookup_demand
+        self.register_demand = register_demand
+        self.cache_enabled = cache_enabled
+
+        self.deployments: Dict[str, ActivityDeployment] = {}
+        self.home = ResourceHome()
+        self.cache = ResourceHome()
+        self.cached_deployments: Dict[str, ActivityDeployment] = {}
+        self.cache_sources: Dict[str, EndpointReference] = {}
+        self.by_type: Dict[str, List[str]] = {}
+        self.aggregation = ServiceGroup(self.sim, name=f"adr:{node_name}")
+        self.lookups = 0
+        self.cache_hits = 0
+
+    # -- local bookkeeping ---------------------------------------------------
+
+    def _epr_for(self, key: str) -> EndpointReference:
+        return EndpointReference(
+            address=f"{self.node_name}/{self.name}",
+            service=self.name,
+            key=key,
+            last_update_time=self.sim.now,
+        )
+
+    def add_local_deployment(self, deployment: ActivityDeployment) -> WSResource:
+        """Insert a deployment authoritatively (type must already exist)."""
+        if self.atr.find_type(deployment.type_name) is None:
+            raise TypeMissingForDeployment(
+                f"type {deployment.type_name!r} not registered on {self.node_name}"
+            )
+        at = self.atr.hierarchy.require(deployment.type_name)
+        if at.max_deployments is not None:
+            existing = [
+                k for k in self.by_type.get(deployment.type_name, [])
+                if k in self.deployments and k != deployment.key
+            ]
+            if len(existing) >= at.max_deployments:
+                raise GlareError(
+                    f"type {deployment.type_name!r} allows at most "
+                    f"{at.max_deployments} deployments"
+                )
+        deployment.registered_at = self.sim.now
+        deployment.last_update_time = self.sim.now
+        self.deployments[deployment.key] = deployment
+        resource = WSResource(
+            key=deployment.key,
+            properties=deployment.to_xml(),
+            owner_epr=self._epr_for(deployment.key),
+            created_at=self.sim.now,
+        )
+        self.home.add(resource)
+        self.aggregation.add(resource.epr, resource.properties,
+                             provider=lambda r=resource: None if r.destroyed else r.properties)
+        keys = self.by_type.setdefault(deployment.type_name, [])
+        if deployment.key not in keys:
+            keys.append(deployment.key)
+        return resource
+
+    def add_cached_deployment(
+        self, deployment: ActivityDeployment, source_epr: EndpointReference
+    ) -> None:
+        if not self.cache_enabled:
+            return
+        resource = WSResource(
+            key=deployment.key,
+            properties=deployment.to_xml(),
+            owner_epr=source_epr,
+            created_at=self.sim.now,
+        )
+        self.cache.add(resource)
+        self.cached_deployments[deployment.key] = deployment
+        self.cache_sources[deployment.key] = source_epr
+        keys = self.by_type.setdefault(deployment.type_name, [])
+        if deployment.key not in keys:
+            keys.append(deployment.key)
+
+    def drop_cached_deployment(self, key: str) -> None:
+        self.cache.remove(key)
+        deployment = self.cached_deployments.pop(key, None)
+        self.cache_sources.pop(key, None)
+        if deployment is not None:
+            keys = self.by_type.get(deployment.type_name, [])
+            if key in keys and key not in self.deployments:
+                keys.remove(key)
+
+    def remove_local_deployment(self, key: str) -> bool:
+        deployment = self.deployments.pop(key, None)
+        if deployment is None:
+            return False
+        resource = self.home.remove(key)
+        if resource is not None:
+            self.aggregation.remove(resource.epr)
+            resource.destroy()
+        keys = self.by_type.get(deployment.type_name, [])
+        if key in keys and key not in self.cached_deployments:
+            keys.remove(key)
+        return True
+
+    def local_deployments_for(self, type_name: str) -> List[ActivityDeployment]:
+        out = []
+        for key in self.by_type.get(type_name, []):
+            if key in self.deployments:
+                out.append(self.deployments[key])
+        return out
+
+    def all_deployments_for(self, type_name: str) -> List[ActivityDeployment]:
+        out = self.local_deployments_for(type_name)
+        for key in self.by_type.get(type_name, []):
+            if key in self.cached_deployments:
+                out.append(self.cached_deployments[key])
+        return out
+
+    def touch(self, key: str) -> None:
+        """Refresh a deployment's LUT (Deployment Status Monitor)."""
+        resource = self.home.lookup(key)
+        if resource is not None:
+            resource.touch(self.sim.now)
+        deployment = self.deployments.get(key)
+        if deployment is not None:
+            deployment.last_update_time = self.sim.now
+
+    # -- operations -------------------------------------------------------------
+
+    def op_register_deployment(self, message: Message) -> Generator:
+        """Register a deployment; dynamic type registration on demand.
+
+        Payload: {'xml': deployment xml, 'type_xml': optional type xml}.
+        """
+        payload = message.payload
+        xml = payload["xml"] if isinstance(payload, dict) else payload
+        deployment = ActivityDeployment.from_xml(xml)
+        yield from self.compute(self.register_demand + len(xml) * 2e-7)
+        if self.atr.find_type(deployment.type_name) is None:
+            type_xml = payload.get("type_xml") if isinstance(payload, dict) else None
+            if not type_xml:
+                raise TypeMissingForDeployment(
+                    f"type {deployment.type_name!r} unknown on {self.node_name} "
+                    "and no type description supplied"
+                )
+            # dynamic registration through the local type registry
+            yield from self.call(
+                self.node_name, ATR_SERVICE, "register_type", payload={"xml": type_xml}
+            )
+        resource = self.add_local_deployment(deployment)
+        return {"registered": deployment.key, "epr": epr_to_wire(resource.epr)}
+
+    def op_lookup_deployments(self, message: Message) -> Generator:
+        """All known deployments of a *concrete* type (hash lookup)."""
+        type_name = message.payload
+        yield from self.compute(self.lookup_demand)
+        self.lookups += 1
+        wires = []
+        for deployment in self.all_deployments_for(type_name):
+            source = self.cache_sources.get(deployment.key)
+            if source is not None:
+                self.cache_hits += 1
+            epr = source or self._epr_for(deployment.key)
+            wires.append(deployment_to_wire(deployment, epr))
+        return Response(value=wires, size=sum(len(w["xml"]) for w in wires) or 128)
+
+    def op_get_deployment(self, message: Message) -> Generator:
+        key = message.payload
+        yield from self.compute(self.lookup_demand)
+        deployment = self.deployments.get(key) or self.cached_deployments.get(key)
+        if deployment is None:
+            return Response(value=None)
+        epr = self.cache_sources.get(key) or self._epr_for(key)
+        return Response(value=deployment_to_wire(deployment, epr))
+
+    def op_update_status(self, message: Message) -> Generator:
+        """Status/metrics update from the Deployment Status Monitor."""
+        payload = message.payload
+        key = payload["key"]
+        yield from self.compute(0.001)
+        deployment = self.deployments.get(key)
+        if deployment is None:
+            raise GlareError(f"no local deployment {key!r} on {self.node_name}")
+        if "status" in payload:
+            deployment.status = DeploymentStatus(payload["status"])
+        for metric in ("last_execution_time", "last_invocation_time", "last_return_code"):
+            if metric in payload:
+                setattr(deployment, metric, payload[metric])
+        self.touch(key)
+        resource = self.home.lookup(key)
+        assert resource is not None
+        resource.properties = deployment.to_xml()
+        # re-pull the aggregation snapshot so XPath queries see the
+        # updated resource document immediately
+        self.aggregation.refresh_all()
+        return {"key": key, "lut": deployment.last_update_time}
+
+    def op_get_lut(self, message: Message) -> Generator:
+        key = message.payload
+        yield from self.compute(0.0008)
+        resource = self.home.lookup(key)
+        return None if resource is None else resource.last_update_time
+
+    def op_remove_deployment(self, message: Message) -> Generator:
+        key = message.payload
+        yield from self.compute(self.lookup_demand)
+        return {"removed": self.remove_local_deployment(key)}
+
+    def op_query(self, message: Message) -> Generator:
+        query = XPathQuery.compile(message.payload)
+        results, visits = query.evaluate(self.aggregation.documents())
+        yield from self.compute(self.lookup_demand + visits * self.atr.per_visit_cost)
+        from repro.mds.index import _summarize
+
+        summaries = [_summarize(r) for r in results]
+        return Response(value=summaries, size=max(256, 128 * len(summaries)))

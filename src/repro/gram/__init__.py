@@ -1,0 +1,16 @@
+"""GRAM substrate: Grid job submission and management.
+
+Stands in for the Globus Resource Allocation Manager.  GLARE uses GRAM
+in two places: the JavaCoG deployment handler "uses GRAM on target Grid
+site and issues commands in the form of GRAM jobs" (paper §3.4), and
+activity instances of executable deployments are launched as GRAM jobs
+by the enactment engine (paper Example 3).
+
+The per-job submission overhead modelled here is the mechanism behind
+JavaCoG's higher handler overhead and slower installations in Table 1.
+"""
+
+from repro.gram.jobs import Job, JobSpec, JobState
+from repro.gram.service import GramService
+
+__all__ = ["GramService", "Job", "JobSpec", "JobState"]

@@ -1,0 +1,31 @@
+"""GridARM reservation service: activity-deployment leasing.
+
+"The GLARE service provides the capability to lease an activity
+deployment with the help of GridARM Reservation service.  A
+fine-grained reservation of a specific activity instead of the entire
+Grid site is supported.  A user with valid reservation ticket is
+authorized to instantiate the reserved activity.  A lease can be
+exclusive or shared." (paper §3.2)
+
+This package implements the reservation bookkeeping: tickets with
+timeframes, exclusive leases that lock out everyone else, and shared
+leases whose concurrent-client limit GridARM enforces at instantiation
+time.
+"""
+
+from repro.gridarm.broker import RankedDeployment, ResourceBroker
+from repro.gridarm.reservation import (
+    Lease,
+    LeaseKind,
+    ReservationService,
+    Ticket,
+)
+
+__all__ = [
+    "Lease",
+    "LeaseKind",
+    "RankedDeployment",
+    "ReservationService",
+    "ResourceBroker",
+    "Ticket",
+]

@@ -1,0 +1,231 @@
+"""Reservation bookkeeping: leases, tickets, QoS enforcement.
+
+One :class:`ReservationService` runs per site (service name
+``gridarm-reservation``) and manages leases over the deployments
+registered on that site.  The RDM's ``instantiate`` operation consults
+it: instantiating a leased deployment requires a valid ticket, an
+exclusive lease locks out all other clients for its timeframe, and a
+shared lease caps the number of concurrent instantiations.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.glare.errors import LeaseError, NotAuthorized
+from repro.net.message import Message
+from repro.net.service import Service
+
+_TICKET_IDS = itertools.count(1000)
+
+
+class LeaseKind(enum.Enum):
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+
+
+@dataclass
+class Ticket:
+    """Proof of reservation handed to the client."""
+
+    ticket_id: int
+    deployment_key: str
+    holder: str
+    kind: LeaseKind
+    start: float
+    end: float
+
+    def valid_at(self, now: float) -> bool:
+        return self.start <= now <= self.end
+
+
+@dataclass
+class Lease:
+    """Server-side lease record for one deployment."""
+
+    deployment_key: str
+    kind: LeaseKind
+    start: float
+    end: float
+    max_concurrent: int = 1
+    tickets: Dict[int, Ticket] = field(default_factory=dict)
+    active_instances: int = 0
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now <= self.end
+
+    def overlaps(self, start: float, end: float) -> bool:
+        return not (end <= self.start or start >= self.end)
+
+
+class ReservationService(Service):
+    """Per-site GridARM reservation endpoint."""
+
+    SERVICE_NAME = "gridarm-reservation"
+
+    def __init__(self, network, node_name, reserve_demand: float = 0.02) -> None:
+        super().__init__(network, node_name)
+        self.reserve_demand = reserve_demand
+        self.leases: Dict[str, List[Lease]] = {}
+        self.reservations_made = 0
+        self.rejections = 0
+
+    # -- lease management -------------------------------------------------------
+
+    def _live_leases(self, key: str) -> List[Lease]:
+        now = self.sim.now
+        leases = [l for l in self.leases.get(key, []) if l.end > now]
+        self.leases[key] = leases
+        return leases
+
+    def make_lease(
+        self,
+        deployment_key: str,
+        holder: str,
+        start: float,
+        end: float,
+        kind: LeaseKind = LeaseKind.EXCLUSIVE,
+        max_concurrent: int = 1,
+    ) -> Ticket:
+        """Core reservation logic (also reachable via ``op_reserve``)."""
+        if end <= start:
+            raise LeaseError("lease timeframe must have positive length")
+        if kind == LeaseKind.SHARED and max_concurrent < 1:
+            raise LeaseError("shared lease needs max_concurrent >= 1")
+        existing = self._live_leases(deployment_key)
+        for lease in existing:
+            if not lease.overlaps(start, end):
+                continue
+            if lease.kind == LeaseKind.EXCLUSIVE or kind == LeaseKind.EXCLUSIVE:
+                raise LeaseError(
+                    f"deployment {deployment_key!r} already exclusively leased "
+                    f"in [{lease.start}, {lease.end}]"
+                )
+        # shared leases over the same window share one lease record
+        lease = None
+        if kind == LeaseKind.SHARED:
+            for existing_lease in existing:
+                if (
+                    existing_lease.kind == LeaseKind.SHARED
+                    and existing_lease.start == start
+                    and existing_lease.end == end
+                ):
+                    lease = existing_lease
+                    break
+        if lease is None:
+            lease = Lease(
+                deployment_key=deployment_key,
+                kind=kind,
+                start=start,
+                end=end,
+                max_concurrent=max_concurrent,
+            )
+            self.leases.setdefault(deployment_key, []).append(lease)
+        ticket = Ticket(
+            ticket_id=next(_TICKET_IDS),
+            deployment_key=deployment_key,
+            holder=holder,
+            kind=kind,
+            start=start,
+            end=end,
+        )
+        lease.tickets[ticket.ticket_id] = ticket
+        self.reservations_made += 1
+        return ticket
+
+    def cancel_ticket(self, ticket_id: int) -> bool:
+        for leases in self.leases.values():
+            for lease in leases:
+                if ticket_id in lease.tickets:
+                    del lease.tickets[ticket_id]
+                    return True
+        return False
+
+    # -- instantiation-time enforcement (called by the RDM) --------------------------
+
+    def authorize_instantiation(
+        self, deployment_key: str, ticket_id: Optional[int], client: str
+    ) -> Generator:
+        """Raise :class:`NotAuthorized` unless the instantiation may run.
+
+        No live leases on the deployment means it is freely usable.
+        """
+        yield from self.compute(0.001)
+        leases = self._live_leases(deployment_key)
+        now = self.sim.now
+        active = [l for l in leases if l.active_at(now)]
+        if not active:
+            return
+        if ticket_id is None:
+            self.rejections += 1
+            raise NotAuthorized(
+                f"deployment {deployment_key!r} is leased; a ticket is required"
+            )
+        for lease in active:
+            ticket = lease.tickets.get(ticket_id)
+            if ticket is None or not ticket.valid_at(now):
+                continue
+            if lease.kind == LeaseKind.SHARED:
+                if lease.active_instances >= lease.max_concurrent:
+                    self.rejections += 1
+                    raise NotAuthorized(
+                        f"shared lease on {deployment_key!r} is at its "
+                        f"concurrency limit ({lease.max_concurrent})"
+                    )
+            lease.active_instances += 1
+            return
+        self.rejections += 1
+        raise NotAuthorized(
+            f"ticket {ticket_id!r} does not authorize {deployment_key!r} now"
+        )
+
+    def instantiation_finished(self, deployment_key: str, ticket_id: Optional[int]) -> None:
+        """Release a concurrency slot taken at authorization time."""
+        for lease in self._live_leases(deployment_key):
+            if ticket_id in lease.tickets and lease.active_instances > 0:
+                lease.active_instances -= 1
+                return
+
+    # -- remote operations -------------------------------------------------------------
+
+    def op_reserve(self, message: Message) -> Generator:
+        """Payload: {key, start, end, kind, max_concurrent}."""
+        payload = message.payload
+        yield from self.compute(self.reserve_demand)
+        ticket = self.make_lease(
+            deployment_key=payload["key"],
+            holder=message.src,
+            start=float(payload["start"]),
+            end=float(payload["end"]),
+            kind=LeaseKind(payload.get("kind", "exclusive")),
+            max_concurrent=int(payload.get("max_concurrent", 1)),
+        )
+        return {
+            "ticket_id": ticket.ticket_id,
+            "key": ticket.deployment_key,
+            "start": ticket.start,
+            "end": ticket.end,
+            "kind": ticket.kind.value,
+        }
+
+    def op_cancel(self, message: Message) -> Generator:
+        yield from self.compute(0.002)
+        return {"cancelled": self.cancel_ticket(message.payload)}
+
+    def op_list_leases(self, message: Message) -> Generator:
+        key = message.payload
+        yield from self.compute(0.001)
+        return [
+            {
+                "key": l.deployment_key,
+                "kind": l.kind.value,
+                "start": l.start,
+                "end": l.end,
+                "tickets": len(l.tickets),
+                "active_instances": l.active_instances,
+            }
+            for l in self._live_leases(key)
+        ]

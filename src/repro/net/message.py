@@ -1,0 +1,55 @@
+"""RPC message and response envelopes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_MESSAGE_IDS = itertools.count(1)
+
+
+def estimate_size(payload: Any, floor: int = 256) -> int:
+    """Rough serialized size of ``payload`` in bytes.
+
+    Deterministic and cheap: based on the repr length, with a floor for
+    envelope/SOAP overhead.  Good enough to drive transmission-time and
+    crypto-cost models; callers that care pass explicit sizes.
+    """
+    if payload is None:
+        return floor
+    try:
+        body = len(repr(payload))
+    except Exception:  # pragma: no cover - exotic payloads
+        body = floor
+    return max(floor, body)
+
+
+@dataclass
+class Message:
+    """A request in flight from ``src`` to ``dst``."""
+
+    src: str
+    dst: str
+    service: str
+    method: str
+    payload: Any = None
+    size: int = 0
+    secure: bool = False
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            self.size = estimate_size(self.payload)
+
+
+@dataclass
+class Response:
+    """A handler's reply; ``size`` drives the return transmission time."""
+
+    value: Any = None
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            self.size = estimate_size(self.value)

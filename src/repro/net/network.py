@@ -1,0 +1,313 @@
+"""Node runtimes and the RPC transport primitive.
+
+A :class:`Network` binds a :class:`~repro.net.topology.Topology` to a
+simulator: every site gets a :class:`NodeRuntime` (CPU + registered
+services + online flag), and processes anywhere in the model invoke
+remote operations through ``yield from network.call(...)``.
+
+The call path charges, in order: client marshalling CPU, security
+handshake latency, request transmission (propagation + size/bandwidth),
+server-side crypto + unmarshalling CPU, the service handler itself
+(which typically executes on the server CPU), and the response
+transmission back.  This is the cost model every experiment in the
+paper's evaluation rides on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.net.message import Message, Response, estimate_size
+from repro.net.topology import Topology
+from repro.net.transport import SecurityPolicy
+from repro.simkernel import CPU, Simulator
+from repro.simkernel.errors import OfflineError, SimulationError
+
+
+class ServiceNotFound(SimulationError):
+    """No service with the requested name is deployed on the target node."""
+
+
+class RpcTimeout(SimulationError):
+    """A remote call did not complete within its deadline."""
+
+
+class RemoteError(Exception):
+    """Wraps an application-level exception raised by a remote handler."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(f"remote handler failed: {cause!r}")
+        self.cause = cause
+
+
+class NodeRuntime:
+    """Per-site execution context: CPU, services, liveness."""
+
+    def __init__(self, network: "Network", name: str, cpu: CPU) -> None:
+        self.network = network
+        self.name = name
+        self.cpu = cpu
+        self.services: Dict[str, Any] = {}
+        self.online = True
+        # traffic counters (for reports and tests)
+        self.messages_in = 0
+        self.messages_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def service(self, name: str):
+        """Look up a deployed service by name."""
+        try:
+            return self.services[name]
+        except KeyError:
+            raise ServiceNotFound(f"service {name!r} not found on node {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "online" if self.online else "OFFLINE"
+        return f"<NodeRuntime {self.name} [{state}] services={sorted(self.services)}>"
+
+
+class Network:
+    """The simulated WAN plus per-node runtimes and RPC.
+
+    Parameters
+    ----------
+    sim, topology:
+        Simulator and static topology.
+    security:
+        Default :class:`SecurityPolicy` applied to calls that do not
+        override it.
+    marshal_cpu_per_kb:
+        Serialization/deserialization CPU demand per kilobyte, charged
+        at both endpoints (models SOAP/XML processing in GT4).
+    connect_fail_delay:
+        Time a caller loses discovering that the target is offline
+        (connection timeout).
+    contention:
+        When true, concurrent transmissions crossing the same link
+        share its bandwidth (snapshot fair-share approximation: a
+        transfer starting while N others are active on its bottleneck
+        path runs at bandwidth/(N+1)).  Off by default: the paper's
+        experiments never saturate links, and the calibrated timings
+        assume dedicated paths.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        security: Optional[SecurityPolicy] = None,
+        marshal_cpu_per_kb: float = 0.0002,
+        connect_fail_delay: float = 1.0,
+        contention: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.security = security or SecurityPolicy.http()
+        self.marshal_cpu_per_kb = marshal_cpu_per_kb
+        self.connect_fail_delay = connect_fail_delay
+        self.contention = contention
+        self._link_active: Dict[tuple, int] = {}
+        self.nodes: Dict[str, NodeRuntime] = {}
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    # -- node management ---------------------------------------------------
+
+    def add_node(self, name: str, cores: int = 2, speed: float = 1.0) -> NodeRuntime:
+        """Create the runtime for site ``name`` (adds it to the topology)."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        if name not in self.topology.sites():
+            self.topology.add_site(name)
+        runtime = NodeRuntime(self, name, CPU(self.sim, cores=cores, speed=speed))
+        self.nodes[name] = runtime
+        return runtime
+
+    def node(self, name: str) -> NodeRuntime:
+        """Runtime for site ``name``."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ValueError(f"unknown node {name!r}")
+
+    def register_service(self, service) -> None:
+        """Deploy ``service`` (must expose .name and .node_name)."""
+        runtime = self.node(service.node_name)
+        if service.name in runtime.services:
+            raise ValueError(
+                f"service {service.name!r} already deployed on {service.node_name!r}"
+            )
+        runtime.services[service.name] = service
+
+    def set_online(self, name: str, online: bool) -> None:
+        """Fail or recover a site; offline nodes refuse all calls."""
+        self.node(name).online = online
+
+    def is_online(self, name: str) -> bool:
+        """Liveness of site ``name``."""
+        return self.node(name).online
+
+    # -- transmission ----------------------------------------------------------
+
+    def _transmit(self, src: str, dst: str, size: int) -> Generator:
+        """Move ``size`` bytes: propagation + (possibly shared) bandwidth."""
+        latency, bandwidth = self.topology.path_metrics(src, dst)
+        if not self.contention or src == dst:
+            yield self.sim.timeout(latency + size / bandwidth)
+            return
+        edges = self.topology.path_edges(src, dst)
+        active = max((self._link_active.get(e, 0) for e in edges), default=0)
+        effective = bandwidth / (active + 1)
+        for edge in edges:
+            self._link_active[edge] = self._link_active.get(edge, 0) + 1
+        try:
+            yield self.sim.timeout(latency + size / effective)
+        finally:
+            for edge in edges:
+                self._link_active[edge] -= 1
+                if self._link_active[edge] <= 0:
+                    del self._link_active[edge]
+
+    # -- RPC -----------------------------------------------------------------
+
+    def call(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        method: str,
+        payload: Any = None,
+        size: int = 0,
+        security: Optional[SecurityPolicy] = None,
+    ) -> Generator:
+        """Sub-generator performing one remote call; yields the result.
+
+        Use as ``value = yield from network.call(...)``.  Raises
+        :class:`OfflineError` when either endpoint is down,
+        :class:`ServiceNotFound` for unknown services, and re-raises
+        application exceptions from the remote handler.
+        """
+        policy = security if security is not None else self.security
+        src_node = self.node(src)
+        dst_node = self.node(dst)
+        if not src_node.online:
+            raise OfflineError(f"source node {src!r} is offline")
+
+        message = Message(
+            src=src,
+            dst=dst,
+            service=service,
+            method=method,
+            payload=payload,
+            size=size,
+            secure=policy.enabled,
+        )
+        latency, bandwidth = self.topology.path_metrics(src, dst)
+        rtt = 2.0 * latency
+
+        # client-side marshalling (+ crypto share)
+        client_demand = self.marshal_cpu_per_kb * (message.size / 1024.0)
+        client_demand += policy.client_cpu_demand(message.size)
+        if client_demand > 0:
+            yield from src_node.cpu.execute(client_demand)
+
+        # security handshake
+        handshake = policy.handshake_latency(rtt)
+        if handshake > 0:
+            yield self.sim.timeout(handshake)
+
+        # request transmission
+        yield from self._transmit(src, dst, message.size)
+
+        self.total_messages += 1
+        self.total_bytes += message.size
+        src_node.messages_out += 1
+        src_node.bytes_out += message.size
+
+        if not dst_node.online:
+            # the connection attempt times out
+            yield self.sim.timeout(self.connect_fail_delay)
+            raise OfflineError(f"target node {dst!r} is offline")
+
+        dst_node.messages_in += 1
+        dst_node.bytes_in += message.size
+
+        # server-side crypto + unmarshalling
+        server_demand = self.marshal_cpu_per_kb * (message.size / 1024.0)
+        server_demand += policy.server_cpu_demand(message.size)
+        if server_demand > 0:
+            yield from dst_node.cpu.execute(server_demand)
+
+        handler = dst_node.service(service)
+        result = yield from handler.dispatch(method, message)
+        response = result if isinstance(result, Response) else Response(value=result)
+
+        # crypto on the response body
+        resp_crypto = policy.server_cpu_demand(response.size) - policy.server_cpu_demand(0)
+        if resp_crypto > 0:
+            yield from dst_node.cpu.execute(resp_crypto)
+
+        # response transmission
+        yield from self._transmit(dst, src, response.size)
+        self.total_messages += 1
+        self.total_bytes += response.size
+        dst_node.messages_out += 1
+        dst_node.bytes_out += response.size
+        src_node.messages_in += 1
+        src_node.bytes_in += response.size
+
+        return response.value
+
+    def call_with_timeout(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        method: str,
+        payload: Any = None,
+        size: int = 0,
+        timeout: float = 10.0,
+        security: Optional[SecurityPolicy] = None,
+    ) -> Generator:
+        """Like :meth:`call` but abandons the call after ``timeout``.
+
+        Raises :class:`RpcTimeout` when the deadline passes first.  The
+        in-flight call is interrupted so it does not linger.
+        """
+
+        def _runner() -> Generator:
+            value = yield from self.call(
+                src, dst, service, method, payload=payload, size=size, security=security
+            )
+            return value
+
+        proc = self.sim.process(_runner(), name=f"rpc:{service}.{method}")
+        deadline = self.sim.timeout(timeout)
+        yield self.sim.any_of([proc, deadline])
+        if proc.triggered:
+            if not proc.ok:
+                proc.defused = True
+                raise proc.value
+            return proc.value
+        try:
+            proc.interrupt("rpc timeout")
+        except SimulationError:  # pragma: no cover - already finished
+            pass
+        proc.defused = True
+        raise RpcTimeout(f"{service}.{method} on {dst!r} timed out after {timeout}s")
+
+
+def payload_size(payload: Any) -> int:
+    """Public re-export of the size estimator (see :mod:`repro.net.message`)."""
+    return estimate_size(payload)
+
+
+__all__ = [
+    "Network",
+    "NodeRuntime",
+    "RemoteError",
+    "RpcTimeout",
+    "ServiceNotFound",
+    "payload_size",
+]

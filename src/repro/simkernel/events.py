@@ -1,0 +1,218 @@
+"""Event primitives for the simulation kernel.
+
+Everything a process can wait on is an :class:`Event`.  An event moves
+through three states:
+
+``pending``
+    created, not yet scheduled to fire;
+``triggered``
+    ``succeed()``/``fail()`` has been called and the event sits on the
+    simulator's agenda;
+``processed``
+    the simulator has popped it and run its callbacks.
+
+Composite conditions (:class:`AllOf`, :class:`AnyOf`) fire when their
+child events do, mirroring the semantics of SimPy conditions but with a
+much smaller surface: the condition's value is a dict mapping child
+events to their values.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from repro.simkernel.errors import EventAlreadyFired
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+
+# Scheduling priorities: urgent events (interrupts) preempt normal ones
+# scheduled at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A single occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_processed", "defused")
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._processed = False
+        #: set when a failure has been delivered to (or deliberately
+        #: ignored by) someone; undefused failures crash the simulation.
+        self.defused = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has dispatched the event."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise AttributeError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception when it failed)."""
+        if self._ok is None:
+            raise AttributeError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self._ok is not None:
+            raise EventAlreadyFired(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiters will have ``exception`` thrown."""
+        if self._ok is not None:
+            raise EventAlreadyFired(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay=delay)
+        return self
+
+    def trigger(self, other: "Event") -> None:
+        """Copy the outcome of ``other`` onto this event (chain helper)."""
+        if other._ok:
+            self.succeed(other._value)
+        else:
+            self.fail(other._value)
+
+    # -- dispatch (kernel-internal) -------------------------------------
+
+    def _dispatch(self) -> None:
+        """Run callbacks.  Called exactly once by the simulator."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+        if self._ok is False and not self.defused:
+            # A failure nobody waited for: crash loudly rather than
+            # silently losing the error.
+            raise self._value
+
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is dispatched."""
+        if self.callbacks is None:
+            raise EventAlreadyFired(f"{self!r} already processed")
+        self.callbacks.append(callback)
+
+    def unsubscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        state = (
+            "processed" if self._processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__}{label} [{state}] at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("all events must belong to the same simulator")
+        self._pending = sum(1 for e in self.events if not e.processed)
+        for event in self.events:
+            if event.processed:
+                if not event.ok and self._ok is None:
+                    event.defused = True
+                    self.fail(event.value)
+            else:
+                event.subscribe(self._on_child)
+        self._check()
+
+    def _on_child(self, event: Event) -> None:
+        self._pending -= 1
+        if not event.ok:
+            event.defused = True
+            if self._ok is None:
+                self.fail(event.value)
+            return
+        self._check()
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+    def _done_count(self) -> int:
+        return sum(1 for e in self.events if e.processed and e._ok)
+
+    def _check(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* child events have fired (value: dict of results)."""
+
+    __slots__ = ()
+
+    def _check(self) -> None:
+        if self._ok is None and self._done_count() == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when *any* child event has fired (value: dict of results)."""
+
+    __slots__ = ()
+
+    def _check(self) -> None:
+        if self._ok is None and (self._done_count() > 0 or not self.events):
+            self.succeed(self._collect())

@@ -1,0 +1,155 @@
+"""The simulation event loop.
+
+A :class:`Simulator` owns an agenda (binary heap) of triggered events
+keyed by ``(time, priority, sequence)``.  ``run()`` pops events in
+order, advances the clock, and dispatches callbacks.  Processes are
+plain Python generators wrapped by :class:`repro.simkernel.process.Process`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.simkernel.errors import SimulationError
+from repro.simkernel.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.simkernel.process import Process
+from repro.simkernel.rng import RngRegistry
+
+#: Sentinel meaning "run until the agenda drains".
+FOREVER = None
+
+
+class EmptySchedule(SimulationError):
+    """Raised internally when the agenda is exhausted."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named RNG streams (see
+        :class:`~repro.simkernel.rng.RngRegistry`).  Two simulators built
+        with the same seed and the same model produce identical traces.
+    trace:
+        When true, every dispatched event is appended to
+        :attr:`trace_log` — handy in tests that assert on event order.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self.rng = RngRegistry(seed)
+        self.trace = trace
+        self.trace_log: List[Tuple[float, str]] = []
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event constructors ----------------------------------------------
+
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create an untriggered event owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a process and start it immediately."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event firing when every event in ``events`` fires."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event firing when any event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling (kernel-internal) --------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Put a triggered event on the agenda."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- main loop ---------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if agenda empty)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise EmptySchedule("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        if self.trace:
+            self.trace_log.append((when, repr(event)))
+        event._dispatch()
+
+    def run(self, until: Optional[float] = FOREVER) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the agenda drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed and
+          return its value (raising its exception if it failed).
+        """
+        stop_value: List[Any] = []
+        if isinstance(until, Event):
+            target = until
+
+            def _stop(ev: Event) -> None:
+                stop_value.append(ev)
+
+            if target.processed:
+                if not target.ok:
+                    raise target.value
+                return target.value
+            target.subscribe(_stop)
+            while not stop_value:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation ran out of events before {target!r} fired"
+                    )
+                self.step()
+            if not target.ok:
+                target.defused = True
+                raise target.value
+            return target.value
+
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError("cannot run until a time in the past")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+
+        while self._heap:
+            self.step()
+        return None

@@ -1,0 +1,262 @@
+"""Queueing primitives: stores, resources, containers.
+
+These model the shared structures the Grid substrate is built from:
+
+* :class:`Store` — a FIFO buffer of items (service mailboxes, job queues);
+* :class:`PriorityStore` — like a store but get() returns smallest item;
+* :class:`Resource` — ``capacity`` interchangeable servers with a FIFO
+  wait queue (worker pools, CPU cores at the RPC level);
+* :class:`Container` — a continuous quantity (disk space, heap bytes).
+
+All follow the same pattern: ``put``/``get``/``request`` return events
+that a process yields; the primitive fires them as capacity allows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, Deque, List, Tuple
+
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+
+
+class StorePut(Event):
+    """Pending put of ``item`` into a store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, sim: "Simulator", item: Any) -> None:
+        super().__init__(sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending get from a store; fires with the item as value."""
+
+    __slots__ = ()
+
+
+class Store:
+    """A FIFO item buffer with optional capacity bound.
+
+    ``put(item)`` blocks (the returned event stays pending) while the
+    buffer is full; ``get()`` blocks while it is empty.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of get() calls currently blocked."""
+        return len(self._getters)
+
+    @property
+    def waiting_putters(self) -> int:
+        """Number of put() calls currently blocked."""
+        return len(self._putters)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; event fires when the item is accepted."""
+        event = StorePut(self.sim, item)
+        self._putters.append(event)
+        self._settle()
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; event fires with the item."""
+        event = StoreGet(self.sim)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the buffer is full."""
+        if len(self.items) >= self.capacity and not self._getters:
+            return False
+        self.put(item)
+        return True
+
+    # -- internal ----------------------------------------------------------
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and self._do_put(self._putters[0]):
+                self._putters.popleft()
+                progressed = True
+            while self._getters and self._do_get(self._getters[0]):
+                self._getters.popleft()
+                progressed = True
+
+
+class PriorityStore(Store):
+    """A store whose ``get()`` returns the smallest item first.
+
+    Items must be mutually comparable; use ``(priority, seq, payload)``
+    tuples or objects implementing ``__lt__``.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        super().__init__(sim, capacity)
+        self._counter = 0
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            heappush(self.items, event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(heappop(self.items))
+            return True
+        return False
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: "Simulator", resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` interchangeable servers with a FIFO wait queue."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self.queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the event fires once a slot is granted."""
+        event = Request(self.sim, self)
+        self.queue.append(event)
+        self._grant()
+        return event
+
+    def release(self, request: Request) -> None:
+        """Return a slot previously granted to ``request``.
+
+        Releasing a request that was never granted cancels it from the
+        wait queue instead (used when a waiter is interrupted).
+        """
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+        self._grant()
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            request = self.queue.popleft()
+            self.users.append(request)
+            request.succeed(request)
+
+
+class Container:
+    """A continuous quantity with blocking put/get (disk, heap bytes)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        initial: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("container capacity must be positive")
+        if not 0 <= initial <= capacity:
+            raise ValueError("initial level out of range")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = initial
+        self._putters: Deque[Tuple[Event, float]] = deque()
+        self._getters: Deque[Tuple[Event, float]] = deque()
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks while it would overflow capacity."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.sim)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.sim)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self.level += amount
+                    event.succeed()
+                    self._putters.popleft()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self.level >= amount:
+                    self.level -= amount
+                    event.succeed(amount)
+                    self._getters.popleft()
+                    progressed = True

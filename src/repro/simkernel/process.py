@@ -1,0 +1,118 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  The generator yields
+:class:`~repro.simkernel.events.Event` objects; when a yielded event is
+dispatched, the process resumes with the event's value (or the event's
+exception is thrown into it).  A process is itself an event that fires
+when the generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.simkernel.errors import Interrupt, SimulationError, StopProcess
+from repro.simkernel.events import URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+
+
+class _Initialize(Event):
+    """Kick-start event that runs the first step of a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim, name=f"init({process.name})")
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event firing at termination."""
+
+    __slots__ = ("generator", "_target")
+
+    def __init__(
+        self, sim: "Simulator", generator: Generator, name: Optional[str] = None
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        #: the event this process currently waits on (None when running
+        #: its first step or already terminated).
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting detaches it from its wait target first.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.sim, name=f"interrupt({self.name})")
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_event, priority=URGENT)
+        if self._target is not None:
+            self._target.unsubscribe(self._resume)
+            self._target = None
+
+    # -- stepping (kernel-internal) ----------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.sim._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self.generator.send(event._value)
+                else:
+                    event.defused = True
+                    next_event = self.generator.throw(event._value)
+            except StopIteration as stop:
+                self.sim._active_process = None
+                self.succeed(stop.value)
+                return
+            except StopProcess as stop:
+                self.sim._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as error:
+                self.sim._active_process = None
+                self.fail(error)
+                return
+
+            if not isinstance(next_event, Event):
+                self.sim._active_process = None
+                crash = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self.generator.close()
+                self.fail(crash)
+                return
+
+            if next_event.processed:
+                # Already happened: resume immediately with its outcome.
+                event = next_event
+                continue
+            next_event.subscribe(self._resume)
+            self._target = next_event
+            self.sim._active_process = None
+            return

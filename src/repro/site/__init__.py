@@ -1,0 +1,26 @@
+"""Grid-site substrate: machines, filesystems, environments.
+
+A Grid site in the reproduction couples a network node runtime (CPU +
+services) with the *static site attributes* the super-peer election
+ranks on (processor speed, memory, uptime, site name — paper §3.3), a
+simulated filesystem that deployments are installed into, and the
+default environment variables deploy-files may reference
+(``DEPLOYMENT_DIR``, ``USER_HOME``, ``GLOBUS_SCRATCH_DIR``,
+``GLOBUS_LOCATION`` — paper §3.4).
+"""
+
+from repro.site.description import SiteDescription
+from repro.site.filesystem import FileEntry, Filesystem, FilesystemError
+from repro.site.gridsite import GridSite
+
+# Re-exported for convenience: the load-average model lives with the CPU.
+from repro.simkernel.cpu import LoadAverage
+
+__all__ = [
+    "FileEntry",
+    "Filesystem",
+    "FilesystemError",
+    "GridSite",
+    "LoadAverage",
+    "SiteDescription",
+]

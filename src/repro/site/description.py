@@ -1,0 +1,100 @@
+"""Static site attributes and the election rank hashcode.
+
+"In order to rank different sites, a unique hashcode of all grid sites
+is calculated based on their static attributes.  These attributes
+includes processor speed, memory, uptime and site name.  Well
+established hashcode algorithms ensure the uniqueness when invoked by
+different GLARE RDM services residing on different sites." (paper §3.3)
+
+We use SHA-256 over a canonical attribute string, truncated to 64 bits
+— deterministic across processes and runs, and computable by *any*
+site that knows another site's static attributes (which is exactly how
+the re-election protocol ranks candidates without a coordinator).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SiteDescription:
+    """Static attributes of one Grid site."""
+
+    name: str
+    platform: str = "Intel"
+    os: str = "Linux"
+    arch: str = "32bit"
+    processor_speed_mhz: float = 2800.0
+    memory_mb: float = 2048.0
+    processors: int = 4
+    uptime_hours: float = 1000.0
+    #: relative CPU speed multiplier used by the simulation
+    speed_factor: float = 1.0
+    extra: Dict[str, str] = field(default_factory=dict, hash=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("site name must be non-empty")
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+        if self.processor_speed_mhz <= 0 or self.memory_mb <= 0:
+            raise ValueError("speed and memory must be positive")
+
+    def canonical_string(self) -> str:
+        """Stable serialization of the rank-relevant static attributes."""
+        return "|".join(
+            [
+                self.name,
+                f"{self.processor_speed_mhz:.1f}",
+                f"{self.memory_mb:.1f}",
+                f"{self.uptime_hours:.1f}",
+            ]
+        )
+
+    def rank_hashcode(self) -> int:
+        """The unique 64-bit rank used in super-peer elections."""
+        digest = hashlib.sha256(self.canonical_string().encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def satisfies(self, constraints: Dict[str, str]) -> bool:
+        """Check installation constraints (platform/os/arch, paper Fig. 9).
+
+        Unknown constraint keys are matched against :attr:`extra`;
+        missing keys fail closed (a constraint you can't verify is not
+        satisfied).
+        """
+        for key, wanted in constraints.items():
+            wanted_norm = wanted.strip().lower()
+            if key == "platform":
+                actual = self.platform
+            elif key == "os":
+                actual = self.os
+            elif key == "arch":
+                actual = self.arch
+            else:
+                actual = self.extra.get(key, "")
+            if actual.strip().lower() != wanted_norm:
+                return False
+        return True
+
+    def to_info_document(self):
+        """Resource document published to the MDS index (GLUE-flavoured)."""
+        from repro.wsrf.xmldoc import Element
+
+        doc = Element(
+            "GridSite",
+            attrib={
+                "name": self.name,
+                "platform": self.platform,
+                "os": self.os,
+                "arch": self.arch,
+            },
+        )
+        doc.make_child("ProcessorSpeedMHz", text=f"{self.processor_speed_mhz:.1f}")
+        doc.make_child("MemoryMB", text=f"{self.memory_mb:.1f}")
+        doc.make_child("Processors", text=str(self.processors))
+        doc.make_child("UptimeHours", text=f"{self.uptime_hours:.1f}")
+        return doc

@@ -1,0 +1,267 @@
+"""Virtual Organization assembly: a whole simulated Grid in one call.
+
+The paper deploys GLARE over the Austrian Grid — "more than ten Grid
+sites that aggregate over 200 processors", spread across cities, each
+with its own job manager and Globus installation.  :func:`build_vo`
+assembles the analogue: N sites with heterogeneous static attributes,
+a star-over-WAN topology, and a full service stack per site (Default
+Index, GridFTP, GRAM, ATR, ADR, GridARM, RDM), plus one VO-root site
+hosting the Community Index and an ``origin`` host that publishes
+application archives (standing in for the public internet).
+
+All examples, tests and benchmark drivers build on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.glare.lifecycle import LifecycleController
+from repro.glare.rdm import GlareRDMService, RDM_SERVICE
+from repro.glare.registry import ActivityDeploymentRegistry, ActivityTypeRegistry
+from repro.gram.service import GramService
+from repro.gridarm.reservation import ReservationService
+from repro.gridftp.service import GridFtpService, UrlCatalog
+from repro.mds.index import IndexService
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.net.transport import SecurityPolicy
+from repro.simkernel import Simulator
+from repro.site.description import SiteDescription
+from repro.site.gridsite import GridSite
+
+#: name of the pseudo-site hosting public download URLs
+ORIGIN = "origin"
+
+
+@dataclass
+class VOConfig:
+    """Knobs for :func:`build_vo` (defaults mirror the paper's testbed)."""
+
+    n_sites: int = 7
+    seed: int = 42
+    security: bool = False
+    cache_enabled: bool = True
+    handler: str = "expect"
+    group_size: int = 3
+    cores_per_site: int = 4
+    wan_latency: float = 0.004  # intra-Austria RTT ~8 ms
+    wan_bandwidth: float = 12.5e6  # 100 Mbit/s
+    gram_overhead: float = 1.0
+    gridftp_setup: float = 0.3
+    monitors: bool = True
+    lifecycle: bool = True
+    site_prefix: str = "agrid"
+    extra_site_attrs: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+
+class SiteStack:
+    """All services deployed on one VO member site."""
+
+    def __init__(self, site: GridSite) -> None:
+        self.site = site
+        self.index: Optional[IndexService] = None
+        self.gridftp: Optional[GridFtpService] = None
+        self.gram: Optional[GramService] = None
+        self.atr: Optional[ActivityTypeRegistry] = None
+        self.adr: Optional[ActivityDeploymentRegistry] = None
+        self.gridarm: Optional[ReservationService] = None
+        self.rdm: Optional[GlareRDMService] = None
+        self.lifecycle: Optional[LifecycleController] = None
+
+    @property
+    def name(self) -> str:
+        return self.site.name
+
+
+class VirtualOrganization:
+    """A running VO: simulator + topology + per-site service stacks."""
+
+    def __init__(self, config: VOConfig) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.topology = Topology()
+        security = SecurityPolicy.https() if config.security else SecurityPolicy.http()
+        self.network = Network(self.sim, self.topology, security=security)
+        self.url_catalog = UrlCatalog()
+        self.stacks: Dict[str, SiteStack] = {}
+        self.community_site: str = ""
+        self.origin: Optional[GridSite] = None
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def site_names(self) -> List[str]:
+        return list(self.stacks)
+
+    def stack(self, name: str) -> SiteStack:
+        return self.stacks[name]
+
+    def rdm(self, name: str) -> GlareRDMService:
+        rdm = self.stacks[name].rdm
+        assert rdm is not None
+        return rdm
+
+    # -- client helpers ----------------------------------------------------------
+
+    def client_call(self, site: str, method: str, payload: Any = None,
+                    service: str = RDM_SERVICE) -> Generator:
+        """Sub-generator: a client at ``site`` calls its local service."""
+        value = yield from self.network.call(site, site, service, method, payload=payload)
+        return value
+
+    def run_process(self, generator: Generator, until: Optional[float] = None):
+        """Run one client process to completion and return its value."""
+        proc = self.sim.process(generator)
+        if until is not None:
+            self.sim.run(until=until)
+            if not proc.triggered:
+                raise TimeoutError("client process did not finish in time")
+        else:
+            self.sim.run(until=proc)
+        if not proc.ok:  # pragma: no cover - surfaced by run(until=proc)
+            raise proc.value
+        return proc.value
+
+    # -- overlay -----------------------------------------------------------------
+
+    def form_overlay(self, settle: float = 10.0) -> Dict[str, List[str]]:
+        """Run a super-peer election synchronously; returns the groups.
+
+        ``settle`` gives the super-peers' detached member-assignment
+        fan-out time to land before the group map is read back.
+        """
+        coordinator = self.rdm(self.community_site)
+        membership = list(self.stacks)
+        self.run_process(coordinator.overlay.run_election(membership))
+        self.sim.run(until=self.sim.now + settle)
+        groups: Dict[str, List[str]] = {}
+        for name, stack in self.stacks.items():
+            assert stack.rdm is not None
+            view = stack.rdm.overlay.view
+            if view.super_peer:  # unassigned (e.g. offline) sites are skipped
+                groups.setdefault(view.super_peer, []).append(name)
+        return groups
+
+    def super_peers(self) -> List[str]:
+        return sorted(
+            name
+            for name, stack in self.stacks.items()
+            if stack.rdm is not None and stack.rdm.overlay.is_super_peer
+        )
+
+    # -- content publication --------------------------------------------------------
+
+    def publish_archive(self, url: str, size: int, md5sum: str = "") -> None:
+        """Host an application archive on the origin pseudo-site."""
+        assert self.origin is not None
+        path = "/www/" + url.split("/")[-1]
+        self.origin.fs.put_file(path, size=size, md5sum=md5sum)
+        self.url_catalog.publish(url, ORIGIN, path)
+
+    def publish_deployfile(self, url: str, content: str, md5sum: str = "") -> None:
+        """Host a deploy-file (content retrievable by RDM services)."""
+        assert self.origin is not None
+        path = "/www/" + url.split("/")[-1]
+        self.origin.fs.put_file(path, size=len(content), md5sum=md5sum)
+        self.url_catalog.publish(url, ORIGIN, path, content=content)
+
+
+def _site_description(config: VOConfig, index: int) -> SiteDescription:
+    """Deterministic heterogeneous site attributes (Austrian-Grid-ish)."""
+    name = f"{config.site_prefix}{index:02d}"
+    return SiteDescription(
+        name=name,
+        platform="Intel",
+        os="Linux",
+        arch="32bit",
+        processor_speed_mhz=2200.0 + 200.0 * (index % 5),
+        memory_mb=1024.0 * (1 + index % 4),
+        processors=config.cores_per_site,
+        uptime_hours=500.0 + 137.0 * index,
+        extra=dict(config.extra_site_attrs.get(name, {})),
+    )
+
+
+def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganization:
+    """Assemble a complete VO; see :class:`VOConfig` for the knobs."""
+    if config is None:
+        config = VOConfig(**overrides)
+    elif overrides:
+        raise ValueError("pass either a VOConfig or keyword overrides, not both")
+    if config.n_sites < 1:
+        raise ValueError("a VO needs at least one site")
+
+    vo = VirtualOrganization(config)
+    names = [f"{config.site_prefix}{i:02d}" for i in range(config.n_sites)]
+    vo.community_site = names[0]
+
+    # Topology: star around the community site (national research
+    # network hub) + a well-connected origin host for downloads.
+    vo.topology.add_site(names[0])
+    for name in names[1:]:
+        vo.topology.add_link(names[0], name, config.wan_latency, config.wan_bandwidth)
+    vo.topology.add_link(names[0], ORIGIN, config.wan_latency * 2, config.wan_bandwidth)
+
+    # Origin pseudo-site: hosts archives, runs only GridFTP.
+    origin_desc = SiteDescription(name=ORIGIN, processors=8, memory_mb=8192.0)
+    vo.origin = GridSite(vo.network, origin_desc)
+    GridFtpService(
+        vo.network, ORIGIN, fs=vo.origin.fs,
+        setup_cost=config.gridftp_setup, url_catalog=vo.url_catalog,
+    )
+
+    # Member sites.
+    for index, name in enumerate(names):
+        site = GridSite(vo.network, _site_description(config, index))
+        stack = SiteStack(site)
+        vo.stacks[name] = stack
+
+        stack.index = IndexService(
+            vo.network, name,
+            community=(name == vo.community_site),
+            upstream=None if name == vo.community_site else vo.community_site,
+        )
+        stack.gridftp = GridFtpService(
+            vo.network, name, fs=site.fs,
+            setup_cost=config.gridftp_setup, url_catalog=vo.url_catalog,
+        )
+        stack.gram = GramService(vo.network, name, submission_overhead=config.gram_overhead)
+        stack.atr = ActivityTypeRegistry(
+            vo.network, name, cache_enabled=config.cache_enabled
+        )
+        stack.adr = ActivityDeploymentRegistry(
+            vo.network, name, atr=stack.atr, cache_enabled=config.cache_enabled
+        )
+        stack.gridarm = ReservationService(vo.network, name)
+        stack.rdm = GlareRDMService(
+            vo.network, site, stack.atr, stack.adr, stack.gridftp,
+            handler=config.handler,
+            community_site=vo.community_site,
+            group_size=config.group_size,
+        )
+        if config.lifecycle:
+            stack.lifecycle = LifecycleController(stack.rdm)
+
+    # Bootstrap community membership (initial registrations at t=0),
+    # then start the keepalive + monitor machinery.
+    community_index = vo.stacks[vo.community_site].index
+    assert community_index is not None
+    from repro.mds.index import SiteRegistration
+
+    for name in names:
+        community_index.site_registrations[name] = SiteRegistration(
+            site=name, registered_at=0.0, last_keepalive=0.0,
+            ttl=community_index.registration_ttl,
+        )
+    for name in names:
+        stack = vo.stacks[name]
+        assert stack.index is not None and stack.rdm is not None
+        stack.index.start()
+        if config.monitors:
+            stack.rdm.start(monitors=True)
+        if stack.lifecycle is not None:
+            stack.lifecycle.start()
+
+    return vo

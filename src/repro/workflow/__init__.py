@@ -1,0 +1,31 @@
+"""Grid workflows on top of GLARE.
+
+"A Grid workflow consists of Grid activities ... a high level
+abstraction that refers to a single self contained computational task"
+(paper §2).  The paper's Fig. 1 workflow — ImageConversion then
+Visualization — is composed from *activity types only*; the scheduler
+asks its local GLARE service for deployments (Fig. 4, Example 3) and
+the enactment engine runs the chosen deployments as GRAM jobs or
+service invocations, moving intermediate files with GridFTP.
+
+This package provides that consumer stack: an AGWL-flavoured workflow
+model, a GLARE-backed scheduler, and a fault-tolerant enactment engine
+(retry with re-mapping, in the spirit of the DEE engine the paper
+cites for activity instances).
+"""
+
+from repro.workflow.model import ActivityNode, DataItem, Workflow, WorkflowError
+from repro.workflow.scheduler import Schedule, ScheduledActivity, Scheduler
+from repro.workflow.enactment import EnactmentEngine, EnactmentResult
+
+__all__ = [
+    "ActivityNode",
+    "DataItem",
+    "EnactmentEngine",
+    "EnactmentResult",
+    "Schedule",
+    "ScheduledActivity",
+    "Scheduler",
+    "Workflow",
+    "WorkflowError",
+]

@@ -1,0 +1,132 @@
+"""AGWL-flavoured XML workflow descriptions.
+
+The paper's workflow environment (ASKALON) specifies workflows in AGWL,
+"an Abstract Grid Workflow Language" [19], composing *activity types*
+rather than deployments.  This module parses a compact AGWL-like XML
+dialect into :class:`~repro.workflow.model.Workflow` objects::
+
+    <agwl name="povray-imaging">
+      <Activity id="convert" type="ImageConversion" demand="8">
+        <Input name="scene.pov" size="200000"/>
+        <Output name="image.png" size="4000000"/>
+      </Activity>
+      <Activity id="visualize" type="Visualization" demand="2">
+        <Input name="image.png" size="4000000"/>
+      </Activity>
+      <Dependency from="convert" to="visualize"/>
+    </agwl>
+
+and serializes workflows back to it, so workflow definitions can live
+in files next to deploy-files.
+"""
+
+from __future__ import annotations
+
+from repro.workflow.model import ActivityNode, DataItem, Workflow, WorkflowError
+from repro.wsrf.xmldoc import Element, parse_xml
+
+
+def parse_agwl(source) -> Workflow:
+    """Parse an AGWL document (string or Element) into a Workflow.
+
+    Besides plain ``<Activity>`` elements, the dialect supports AGWL's
+    data-parallel construct::
+
+        <ParallelFor id="tile" count="4" type="ImageConversion" demand="6">
+          <Output name="tile.png" size="1000000"/>
+        </ParallelFor>
+
+    which expands into ``tile_0 .. tile_3`` (per-iteration output names
+    get an ``_<i>`` suffix).  ``<Dependency from=... to=...>`` edges
+    referencing the ParallelFor id fan out/in over every iteration.
+    """
+    root = parse_xml(source) if isinstance(source, str) else source
+    if root.tag != "agwl":
+        raise WorkflowError(f"AGWL root must be <agwl>, got <{root.tag}>")
+    workflow = Workflow(root.get("name", "unnamed"))
+    #: ParallelFor id -> list of expanded node ids
+    expansions = {}
+    for activity_el in root.findall("Activity"):
+        workflow.add(_parse_activity(activity_el))
+    for loop_el in root.findall("ParallelFor"):
+        loop_id = loop_el.get("id", "")
+        try:
+            count = int(loop_el.get("count", "0"))
+        except ValueError as error:
+            raise WorkflowError(
+                f"ParallelFor {loop_id!r} has a non-numeric count"
+            ) from error
+        if count < 1:
+            raise WorkflowError(f"ParallelFor {loop_id!r} needs count >= 1")
+        members = []
+        for index in range(count):
+            node = _parse_activity(loop_el, node_id=f"{loop_id}_{index}")
+            node.inputs = [
+                DataItem(_indexed(i.name, index), i.size) for i in node.inputs
+            ]
+            node.outputs = [
+                DataItem(_indexed(o.name, index), o.size) for o in node.outputs
+            ]
+            workflow.add(node)
+            members.append(node.node_id)
+        expansions[loop_id] = members
+    for dep_el in root.findall("Dependency"):
+        sources = expansions.get(dep_el.get("from", ""), [dep_el.get("from", "")])
+        targets = expansions.get(dep_el.get("to", ""), [dep_el.get("to", "")])
+        for src in sources:
+            for dst in targets:
+                workflow.connect(src, dst)
+    workflow.validate()
+    return workflow
+
+
+def _parse_activity(element: Element, node_id: str = "") -> ActivityNode:
+    node_id = node_id or element.get("id", "")
+    try:
+        demand = float(element.get("demand", "5"))
+    except ValueError as error:
+        raise WorkflowError(
+            f"activity {node_id!r} has a non-numeric demand"
+        ) from error
+    return ActivityNode(
+        node_id=node_id,
+        type_name=element.get("type", ""),
+        demand=demand,
+        inputs=[_data_item(e) for e in element.findall("Input")],
+        outputs=[_data_item(e) for e in element.findall("Output")],
+    )
+
+
+def _indexed(name: str, index: int) -> str:
+    """``tile.png`` -> ``tile_3.png`` (suffix before the extension)."""
+    if "." in name:
+        stem, ext = name.rsplit(".", 1)
+        return f"{stem}_{index}.{ext}"
+    return f"{name}_{index}"
+
+
+def _data_item(element: Element) -> DataItem:
+    try:
+        size = int(element.get("size", "1000000"))
+    except ValueError as error:
+        raise WorkflowError(
+            f"data item {element.get('name')!r} has a non-numeric size"
+        ) from error
+    return DataItem(name=element.get("name", "data"), size=size)
+
+
+def to_agwl(workflow: Workflow) -> str:
+    """Serialize a workflow back to AGWL XML."""
+    root = Element("agwl", attrib={"name": workflow.name})
+    for node in workflow.nodes.values():
+        activity = root.make_child(
+            "Activity", id=node.node_id, type=node.type_name,
+            demand=f"{node.demand:g}",
+        )
+        for item in node.inputs:
+            activity.make_child("Input", name=item.name, size=str(item.size))
+        for item in node.outputs:
+            activity.make_child("Output", name=item.name, size=str(item.size))
+    for src, dst in workflow.edges:
+        root.make_child("Dependency", **{"from": src, "to": dst})
+    return root.to_string()

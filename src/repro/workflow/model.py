@@ -1,0 +1,117 @@
+"""Workflow model: activities, data flow, DAG validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+class WorkflowError(Exception):
+    """Malformed workflows: unknown nodes, cycles, dangling data."""
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """A file flowing between activities."""
+
+    name: str
+    size: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise WorkflowError(f"data item {self.name!r} has negative size")
+
+
+@dataclass
+class ActivityNode:
+    """One workflow activity, referencing a GLARE activity *type*.
+
+    The composer "only uses activity types while composing a Grid
+    workflow application" — never deployments (paper §2.2).
+    """
+
+    node_id: str
+    type_name: str
+    demand: float = 5.0  # estimated CPU-seconds of the activity instance
+    inputs: List[DataItem] = field(default_factory=list)
+    outputs: List[DataItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.node_id or not self.type_name:
+            raise WorkflowError("activity node needs an id and a type name")
+        if self.demand < 0:
+            raise WorkflowError(f"node {self.node_id!r} has negative demand")
+
+
+class Workflow:
+    """A DAG of activity nodes with data-flow edges."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: Dict[str, ActivityNode] = {}
+        self.edges: List[Tuple[str, str]] = []
+
+    def add(self, node: ActivityNode) -> ActivityNode:
+        if node.node_id in self.nodes:
+            raise WorkflowError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        return node
+
+    def connect(self, src: str, dst: str) -> None:
+        """Add a control/data dependency: ``dst`` runs after ``src``."""
+        for node_id in (src, dst):
+            if node_id not in self.nodes:
+                raise WorkflowError(f"unknown node {node_id!r}")
+        if src == dst:
+            raise WorkflowError("a node cannot depend on itself")
+        if (src, dst) not in self.edges:
+            self.edges.append((src, dst))
+
+    def predecessors(self, node_id: str) -> List[str]:
+        return [s for s, d in self.edges if d == node_id]
+
+    def successors(self, node_id: str) -> List[str]:
+        return [d for s, d in self.edges if s == node_id]
+
+    def validate(self) -> None:
+        """Raise :class:`WorkflowError` on cycles."""
+        self.topological_order()
+
+    def topological_order(self) -> List[ActivityNode]:
+        """Nodes in execution order (Kahn), raising on cycles."""
+        indegree = {node_id: 0 for node_id in self.nodes}
+        for _, dst in self.edges:
+            indegree[dst] += 1
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        ordered: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            ordered.append(current)
+            for successor in self.successors(current):
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+            ready.sort()
+        if len(ordered) != len(self.nodes):
+            raise WorkflowError(f"workflow {self.name!r} contains a cycle")
+        return [self.nodes[n] for n in ordered]
+
+    def activity_types(self) -> Set[str]:
+        """The distinct activity types this workflow needs."""
+        return {node.type_name for node in self.nodes.values()}
+
+    @classmethod
+    def povray_example(cls) -> "Workflow":
+        """The paper's Fig. 1 workflow: conversion then visualization."""
+        wf = cls("povray-imaging")
+        wf.add(ActivityNode(
+            "convert", "ImageConversion", demand=8.0,
+            inputs=[DataItem("scene.pov", 200_000)],
+            outputs=[DataItem("image.png", 4_000_000)],
+        ))
+        wf.add(ActivityNode(
+            "visualize", "Visualization", demand=2.0,
+            inputs=[DataItem("image.png", 4_000_000)],
+        ))
+        wf.connect("convert", "visualize")
+        return wf

@@ -1,0 +1,52 @@
+"""WSRF substrate: the Web-Services Resource Framework, rebuilt.
+
+GLARE was prototyped on Globus Toolkit 4, "a reference implementation
+of the new Web-Services Resource Framework".  The evaluation leans on
+four WSRF mechanisms, all reproduced here:
+
+* **WS-Resources** (:mod:`repro.wsrf.resource`) — stateful, keyed
+  resources with XML resource-property documents; every activity type
+  and deployment in the registries is one.
+* **Endpoint References** (:mod:`repro.wsrf.resource`) — address + key
+  + reference properties, including the ``LastUpdateTime`` attribute the
+  cache refresher keys on (paper Fig. 6).
+* **Resource lifetime** (:mod:`repro.wsrf.lifetime`) — scheduled
+  termination times with renewal; expired resources are swept.
+* **Service groups** (:mod:`repro.wsrf.servicegroup`) — periodically
+  refreshed aggregations of member resources; both the WS-MDS index and
+  the GLARE registries aggregate through this mechanism, which is why
+  the paper calls their comparison "logical".
+* **Notifications** (:mod:`repro.wsrf.notification`) — topic-based
+  publish/subscribe with remote sink delivery (paper Fig. 13 load
+  experiment).
+
+The XML infoset (:mod:`repro.wsrf.xmldoc`) and the XPath-subset query
+engine (:mod:`repro.wsrf.xpath`) are implemented from scratch; the
+XPath evaluator reports node-visit counts, which the WS-MDS baseline
+uses as its query cost model.
+"""
+
+from repro.wsrf.xmldoc import Element, XmlParseError, parse_xml
+from repro.wsrf.xpath import XPathError, XPathQuery, xpath_find
+from repro.wsrf.resource import EndpointReference, ResourceHome, WSResource
+from repro.wsrf.lifetime import LifetimeManager
+from repro.wsrf.servicegroup import ServiceGroup, ServiceGroupEntry
+from repro.wsrf.notification import NotificationBroker, NotificationSink, Subscription
+
+__all__ = [
+    "Element",
+    "EndpointReference",
+    "LifetimeManager",
+    "NotificationBroker",
+    "NotificationSink",
+    "ResourceHome",
+    "ServiceGroup",
+    "ServiceGroupEntry",
+    "Subscription",
+    "WSResource",
+    "XPathError",
+    "XPathQuery",
+    "XmlParseError",
+    "parse_xml",
+    "xpath_find",
+]

@@ -1,0 +1,149 @@
+"""WSRF service groups: periodically refreshed resource aggregation.
+
+"Both registry services provide an aggregation of all locally
+registered and cached resources, based on a WSRF service-group
+framework, in which aggregated resources are periodically refreshed"
+(paper §3.1).  The same framework underlies the GT4 Index Service,
+which is why the paper considers the ATR-vs-index comparison fair.
+
+A :class:`ServiceGroup` holds :class:`ServiceGroupEntry` items — an EPR
+plus a snapshot of the member's property document.  A refresh process
+re-pulls content from registered *content providers* (callables, so the
+group works both for purely local aggregation and for remote pulls
+implemented by the owner service).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
+
+from repro.simkernel.errors import Interrupt
+from repro.wsrf.resource import EndpointReference
+from repro.wsrf.xmldoc import Element
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel import Simulator
+
+#: returns the member's current property document, or None when gone
+ContentProvider = Callable[[], Optional[Element]]
+
+
+class ServiceGroupEntry:
+    """One aggregated member: EPR + content snapshot."""
+
+    def __init__(
+        self,
+        epr: EndpointReference,
+        content: Element,
+        provider: Optional[ContentProvider] = None,
+    ) -> None:
+        self.epr = epr
+        self.content = content
+        self.provider = provider
+        self.refreshed_at = 0.0
+        self.stale_misses = 0
+
+    def refresh(self, now: float) -> bool:
+        """Re-pull content; returns False when the member disappeared."""
+        if self.provider is None:
+            self.refreshed_at = now
+            return True
+        fresh = self.provider()
+        if fresh is None:
+            self.stale_misses += 1
+            return False
+        self.content = fresh
+        self.refreshed_at = now
+        return True
+
+
+class ServiceGroup:
+    """An aggregation of member resources with periodic refresh."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str = "service-group",
+        refresh_interval: float = 30.0,
+        max_stale_misses: int = 2,
+    ) -> None:
+        if refresh_interval <= 0:
+            raise ValueError("refresh interval must be positive")
+        self.sim = sim
+        self.name = name
+        self.refresh_interval = refresh_interval
+        self.max_stale_misses = max_stale_misses
+        self._entries: Dict[str, ServiceGroupEntry] = {}
+        self._proc = None
+        self.refreshes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry_key(self, epr: EndpointReference) -> str:
+        """Stable identity of an entry (address+service+key)."""
+        return f"{epr.address}/{epr.service}#{epr.key}"
+
+    def add(
+        self,
+        epr: EndpointReference,
+        content: Element,
+        provider: Optional[ContentProvider] = None,
+    ) -> ServiceGroupEntry:
+        """Register (or replace) an aggregated member."""
+        entry = ServiceGroupEntry(epr, content, provider)
+        entry.refreshed_at = self.sim.now
+        self._entries[self.entry_key(epr)] = entry
+        return entry
+
+    def remove(self, epr: EndpointReference) -> bool:
+        """Drop an aggregated member; True when it existed."""
+        return self._entries.pop(self.entry_key(epr), None) is not None
+
+    def entries(self) -> List[ServiceGroupEntry]:
+        """All current entries."""
+        return list(self._entries.values())
+
+    def documents(self) -> List[Element]:
+        """Content snapshots of all entries (the XPath query surface)."""
+        return [e.content for e in self._entries.values()]
+
+    def find_by_key(self, key: str) -> Optional[ServiceGroupEntry]:
+        """First entry whose EPR resource key equals ``key``."""
+        for entry in self._entries.values():
+            if entry.epr.key == key:
+                return entry
+        return None
+
+    def refresh_all(self) -> int:
+        """Refresh every entry, dropping repeatedly-stale ones."""
+        now = self.sim.now
+        dropped = []
+        for key, entry in list(self._entries.items()):
+            ok = entry.refresh(now)
+            if not ok and entry.stale_misses >= self.max_stale_misses:
+                dropped.append(key)
+        for key in dropped:
+            del self._entries[key]
+        self.refreshes += 1
+        return len(dropped)
+
+    def start(self) -> None:
+        """Launch the periodic refresh process."""
+        if self._proc is not None:
+            raise RuntimeError("service group refresh already started")
+        self._proc = self.sim.process(self._refresh_loop(), name=f"sg:{self.name}")
+
+    def stop(self) -> None:
+        """Interrupt the refresh process."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+
+    def _refresh_loop(self) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self.refresh_interval)
+                self.refresh_all()
+        except Interrupt:
+            return

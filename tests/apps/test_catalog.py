@@ -1,0 +1,109 @@
+"""Unit tests for the application catalog."""
+
+import pytest
+
+from repro.apps import (
+    ALL_APPLICATIONS,
+    TABLE1_APPLICATIONS,
+    base_hierarchy_types,
+    get_application,
+    publish_applications,
+)
+from repro.glare.deployfile import parse_deployfile
+from repro.glare.model import TypeKind
+from repro.vo import build_vo
+
+
+class TestCatalogIntegrity:
+    def test_all_type_documents_parse(self):
+        for name, spec in ALL_APPLICATIONS.items():
+            at = spec.activity_type()
+            assert at.name == name
+            assert at.kind == TypeKind.CONCRETE
+            assert at.installable, f"{name} must be on-demand installable"
+
+    def test_all_deployfiles_parse_and_validate(self):
+        for name, spec in ALL_APPLICATIONS.items():
+            recipe = parse_deployfile(spec.deployfile_xml)
+            assert recipe.name == name
+            ordered = recipe.ordered_steps()
+            assert ordered[0].name == "Init"
+            assert [s.name for s in ordered[:3]] == ["Init", "Download", "Expand"]
+
+    def test_every_app_produces_something(self):
+        """Each recipe declares at least one produced file or the type
+        declares pure-service deployment names."""
+        for name, spec in ALL_APPLICATIONS.items():
+            recipe = parse_deployfile(spec.deployfile_xml)
+            produced = [p for s in recipe.steps for p in s.produces]
+            at = spec.activity_type()
+            service_names = [d for d in at.deployment_names
+                             if not any(p.path.endswith(d) for p in produced)]
+            assert produced or service_names, name
+
+    def test_deployment_names_match_produced_executables(self):
+        """Declared executable names appear in some step's Produces."""
+        for name, spec in ALL_APPLICATIONS.items():
+            recipe = parse_deployfile(spec.deployfile_xml)
+            produced_names = {
+                p.path.rsplit("/", 1)[-1]
+                for s in recipe.steps for p in s.produces if p.executable
+            }
+            at = spec.activity_type()
+            declared_executables = {
+                d for d in at.deployment_names if not d.startswith("WS-")
+            }
+            assert declared_executables <= produced_names, name
+
+    def test_dependencies_exist_in_catalog(self):
+        for name, spec in ALL_APPLICATIONS.items():
+            at = spec.activity_type()
+            if at.installation:
+                for dep in at.installation.dependencies:
+                    assert dep in ALL_APPLICATIONS, f"{name} depends on {dep}"
+
+    def test_table1_trio_present(self):
+        assert set(TABLE1_APPLICATIONS) <= set(ALL_APPLICATIONS)
+
+    def test_table1_install_demands_ordered_like_paper(self):
+        """Wien2k (pre-compiled) installs fastest; Counter slowest."""
+        demands = {
+            name: parse_deployfile(
+                get_application(name).deployfile_xml
+            ).total_compute_demand()
+            for name in TABLE1_APPLICATIONS
+        }
+        assert demands["Wien2k"] < demands["Invmod"] < demands["Counter"]
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_application("Emacs")
+
+    def test_base_hierarchy_is_abstract_and_linked(self):
+        types = {t.name: t for t in base_hierarchy_types()}
+        assert all(t.kind == TypeKind.ABSTRACT for t in types.values())
+        assert "Imaging" in types
+        assert types["POVray"].base_types == ["ImageConversion"]
+        assert types["ImageConversion"].base_types == ["Imaging"]
+
+    def test_archive_sizes_plausible(self):
+        for name, spec in ALL_APPLICATIONS.items():
+            assert 1_000_000 <= spec.archive_size <= 100_000_000, name
+
+
+class TestPublishing:
+    def test_publish_hosts_archives_and_deployfiles(self):
+        vo = build_vo(n_sites=2, seed=3, monitors=False)
+        publish_applications(vo, ["JPOVray", "Java"])
+        spec = get_application("JPOVray")
+        site, path = vo.url_catalog.resolve(spec.archive_url)
+        assert site == "origin"
+        assert vo.origin.fs.get_file(path).size == spec.archive_size
+        content = vo.url_catalog.content(spec.deployfile_url)
+        assert "<Build" in content
+
+    def test_publish_default_is_everything(self):
+        vo = build_vo(n_sites=2, seed=3, monitors=False)
+        publish_applications(vo)
+        for spec in ALL_APPLICATIONS.values():
+            assert vo.url_catalog.resolve(spec.archive_url)

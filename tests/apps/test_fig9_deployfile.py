@@ -1,0 +1,93 @@
+"""The paper's Fig. 9 POVray deploy-file: parse and execute it."""
+
+import pytest
+
+from repro.apps import fig9_povray_deployfile
+from repro.glare.deployfile import parse_deployfile
+from repro.glare.handlers import ExpectHandler, JavaCoGHandler
+from repro.gram.service import GramService
+from repro.gridftp.service import GridFtpService, UrlCatalog
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.simkernel import Simulator
+from repro.site.description import SiteDescription
+from repro.site.gridsite import GridSite
+
+POVRAY_URL = "http://www.povray.org/ftp/pub/povray/povlinux-3.6.tgz"
+POVRAY_MD5 = "4a1cbbd1e462278bc16c03a5be9cd05f"
+
+
+class TestParse:
+    def test_structure_matches_figure(self):
+        recipe = parse_deployfile(fig9_povray_deployfile())
+        assert recipe.name == "Povray"
+        assert recipe.default_task == "Deploy"
+        names = [s.name for s in recipe.ordered_steps()]
+        assert names == ["Init", "Download", "Expand", "Configure",
+                         "Build", "Install"]
+
+    def test_env_definitions(self):
+        recipe = parse_deployfile(fig9_povray_deployfile())
+        env = recipe.collected_env()
+        assert env["POVRAY_HOME"] == "$DEPLOYMENT_DIR/povray/"
+        assert env["POVRAY_DIR"] == "/tmp/povray/"
+
+    def test_interactive_installation_dialogs(self):
+        """'the installation of POVray requires human interaction and
+        prompts for license acceptance, user type, and install path'."""
+        recipe = parse_deployfile(fig9_povray_deployfile())
+        configure = recipe.step("Configure")
+        prompts = [d.expect for d in configure.dialogs]
+        assert any("license" in p for p in prompts)
+        assert any("personal or site" in p for p in prompts)
+        assert any("installed" in p for p in prompts)
+
+    def test_download_url_and_md5(self):
+        recipe = parse_deployfile(fig9_povray_deployfile())
+        urls = recipe.download_urls()
+        assert urls[0][0] == POVRAY_URL
+        assert urls[0][2] == POVRAY_MD5
+
+
+def make_world():
+    sim = Simulator(seed=9)
+    topo = Topology.star("target", ["www", "caller"],
+                         latency=0.01, bandwidth=12.5e6)
+    net = Network(sim, topo)
+    catalog = UrlCatalog()
+    www = GridSite(net, SiteDescription(name="www"))
+    target = GridSite(net, SiteDescription(name="target"))
+    net.add_node("caller")
+    GridFtpService(net, "www", fs=www.fs, url_catalog=catalog)
+    gridftp = GridFtpService(net, "target", fs=target.fs, url_catalog=catalog)
+    GramService(net, "target")
+    www.fs.put_file("/ftp/povlinux-3.6.tgz", size=9_200_000, md5sum=POVRAY_MD5)
+    catalog.publish(POVRAY_URL, "www", "/ftp/povlinux-3.6.tgz")
+    return sim, net, target, gridftp
+
+
+class TestExecute:
+    def test_expect_handler_runs_fig9(self):
+        sim, net, target, gridftp = make_world()
+        handler = ExpectHandler(target, gridftp)
+        proc = sim.process(handler.execute(
+            parse_deployfile(fig9_povray_deployfile())))
+        sim.run(until=proc)
+        report = proc.value
+        assert report.success, report.error
+        assert target.fs.get_file("/tmp/povray/povray-3.6.1/bin/povray").executable
+        # make dominates (110 s of the declared 120 s demand)
+        assert report.installation_time > 110.0
+        assert report.communication_time > 0.5  # 9.2 MB download
+
+    def test_javacog_cannot_answer_fig9_dialogs_interactively(self):
+        """JavaCoG runs it too, but pays extra for non-interactive
+        scripting of the prompts (it cannot drive a terminal)."""
+        sim, net, target, gridftp = make_world()
+        handler = JavaCoGHandler(target, gridftp, net, caller="caller")
+        proc = sim.process(handler.execute(
+            parse_deployfile(fig9_povray_deployfile())))
+        sim.run(until=proc)
+        report = proc.value
+        assert report.success, report.error
+        assert report.handler_overhead >= 9.8

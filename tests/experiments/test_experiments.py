@@ -1,0 +1,153 @@
+"""Smoke tests for the experiment harness (small parameterisations).
+
+The full-size sweeps run under ``benchmarks/``; these tests pin the
+drivers' data contracts and the headline shape properties at reduced
+scale so the main suite stays fast.
+"""
+
+import pytest
+
+from repro.experiments.fig10 import run_fig10_point
+from repro.experiments.fig12 import run_fig12_point
+from repro.experiments.fig13 import run_requester_point, run_sink_point
+from repro.experiments.report import format_multi_series, format_series, format_table
+from repro.experiments.table1 import Table1Row, format_table1, run_table1
+from repro.experiments.workload import (
+    ClientStats,
+    synthetic_activity_type,
+    synthetic_type_doc,
+)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bbbb", 22.5]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(l) for l in lines[1:]}) <= 2  # consistent width
+
+    def test_format_table_rejects_ragged_rows(self):
+        from repro.experiments.report import Table
+
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_series(self):
+        text = format_series("S", [1, 2], [10.0, 20.0], "x", "y")
+        assert "10.0" in text and "20.0" in text
+
+    def test_multi_series_aligns_by_x(self):
+        text = format_multi_series(
+            "M", "x", [1, 2, 3],
+            {"a": [10, 30], "b": [1, 2, 3]},
+            series_xs={"a": [1, 3]},
+        )
+        lines = text.splitlines()  # [title, header, separator, rows...]
+        row2 = [c.strip() for c in lines[4].split("|")]
+        assert row2[0] == "2" and row2[1] == ""  # series a has no x=2
+
+
+class TestWorkload:
+    def test_synthetic_doc_is_realistic_size(self):
+        doc = synthetic_type_doc(3)
+        assert 10 <= doc.count_nodes() <= 20
+        assert doc.get("name") == "type0003"
+
+    def test_synthetic_type_parses(self):
+        at = synthetic_activity_type(5)
+        assert at.name == "type0005"
+        assert at.is_concrete
+
+    def test_client_stats_merge(self):
+        a = ClientStats(completed=2, failed=1, response_times=[0.1, 0.2])
+        b = ClientStats(completed=3, response_times=[0.3])
+        a.merge(b)
+        assert a.completed == 5
+        assert a.mean_response == pytest.approx(0.2)
+
+
+class TestTable1Driver:
+    def test_single_row_contract(self):
+        rows = run_table1(applications=("Wien2k",), methods=("expect",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert isinstance(row, Table1Row)
+        assert row.total_ms == pytest.approx(sum(row.stage_values()[:-1]))
+        assert row.installation_ms > 1000
+        text = format_table1(rows)
+        assert "Wien2k" in text and "expect" in text
+
+
+class TestFigureDrivers:
+    def test_fig10_point_contract(self):
+        point = run_fig10_point("registry", False, clients=2, n_types=10)
+        assert point.throughput > 0
+        assert point.mean_response_ms > 0
+        assert point.service == "registry" and point.security == "http"
+
+    def test_fig10_registry_beats_index(self):
+        registry = run_fig10_point("registry", False, clients=8, n_types=60)
+        index = run_fig10_point("index", False, clients=8, n_types=60)
+        assert registry.throughput > index.throughput
+
+    def test_fig12_cache_beats_no_cache(self):
+        cached = run_fig12_point(2, cache=True, clients=3,
+                                 total_deployments=12, client_sites=2)
+        uncached = run_fig12_point(2, cache=False, clients=3,
+                                   total_deployments=12, client_sites=2)
+        assert cached.mean_response_ms < uncached.mean_response_ms
+        assert cached.completed > 0 and uncached.completed > 0
+
+    def test_fig13_load_grows_with_sinks(self):
+        low = run_sink_point(30, 1.0)
+        high = run_sink_point(210, 1.0)
+        assert high.load_average > low.load_average
+
+    def test_fig13_requesters_bounded(self):
+        point = run_requester_point(120)
+        assert 0.0 < point.load_average < 6.0
+
+
+class TestCli:
+    def test_cli_quick_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Wien2k" in out
+        assert "expect" in out
+
+    def test_cli_rejects_unknown(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+@pytest.mark.slow
+class TestCliQuickSweeps:
+    """The --quick CLI paths for every figure actually run end-to-end."""
+
+    def test_cli_quick_fig10(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "registry/http" in out and "index/https" in out
+
+    def test_cli_quick_fig11(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig11", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Collapse probe" in out
+
+    def test_cli_quick_fig13(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig13", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "sinks@1s" in out

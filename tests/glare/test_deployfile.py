@@ -1,0 +1,153 @@
+"""Unit tests for deploy-file parsing and validation (paper Fig. 9)."""
+
+import pytest
+
+from repro.glare.deployfile import parse_deployfile
+from repro.glare.errors import InvalidTypeDescription
+
+POVRAY_DEPLOYFILE = """
+<Build baseDir="/tmp/papers/" defaultTask="Deploy" name="Povray">
+  <Step name="Init" task="mkdir-p" baseDir="$DEPLOYMENT_DIR" timeout="10">
+    <Env name="POVRAY_HOME" value="$DEPLOYMENT_DIR/povray/"/>
+    <Env name="POVRAY_DIR" value="/tmp/povray/"/>
+    <Property name="argument" value="$POVRAY_HOME"/>
+    <Property name="argument" value="$POVRAY_DIR"/>
+  </Step>
+  <Step name="Download" depends="Init" task="$GLOBUS_LOCATION/bin/globus-url-copy"
+        baseDir="$POVRAY_DIR" timeout="20">
+    <Property name="source" value="http://www.povray.org/povlinux-3.6.tgz"/>
+    <Property name="destination" value="file:///$POVRAY_DIR/povray.tgz"/>
+    <Property name="md5sum" value="feedbeef"/>
+  </Step>
+  <Step name="Expand" depends="Download" task="tar xvfz" baseDir="$POVRAY_DIR" timeout="10">
+    <Property name="argument" value="$POVRAY_DIR/povray.tgz"/>
+    <Produces path="povray-3.6.1/configure" size="40000" executable="true"/>
+  </Step>
+  <Step name="Configure" depends="Expand" task="./configure" demand="3.5"
+        baseDir="$POVRAY_DIR/povray-3.6.1" timeout="100">
+    <Dialog expect="Do you accept the license?" send="yes" delay="0.3"/>
+    <Dialog expect="Install path:" send="$POVRAY_HOME" delay="0.2"/>
+  </Step>
+  <Step name="Build" depends="Configure" task="make" demand="120"
+        baseDir="$POVRAY_DIR/povray-3.6.1" timeout="200">
+    <Produces path="bin/povray" size="1500000" executable="true"/>
+  </Step>
+</Build>
+"""
+
+
+class TestParsing:
+    def test_parse_fig9_deployfile(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        assert recipe.name == "Povray"
+        assert recipe.default_task == "Deploy"
+        assert [s.name for s in recipe.steps] == [
+            "Init", "Download", "Expand", "Configure", "Build",
+        ]
+
+    def test_step_kinds(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        kinds = {s.name: s.kind for s in recipe.steps}
+        assert kinds == {
+            "Init": "mkdir", "Download": "download", "Expand": "expand",
+            "Configure": "compute", "Build": "compute",
+        }
+
+    def test_env_and_properties(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        init = recipe.step("Init")
+        assert init.env["POVRAY_HOME"] == "$DEPLOYMENT_DIR/povray/"
+        assert init.props("argument") == ["$POVRAY_HOME", "$POVRAY_DIR"]
+        download = recipe.step("Download")
+        assert download.prop("md5sum") == "feedbeef"
+        assert download.prop("missing", "default") == "default"
+
+    def test_dialogs(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        configure = recipe.step("Configure")
+        assert len(configure.dialogs) == 2
+        assert configure.dialogs[0].send == "yes"
+        assert configure.dialogs[1].delay == pytest.approx(0.2)
+
+    def test_produces(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        build = recipe.step("Build")
+        assert build.produces[0].path == "bin/povray"
+        assert build.produces[0].executable
+
+    def test_collected_env(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        env = recipe.collected_env()
+        assert set(env) == {"POVRAY_HOME", "POVRAY_DIR"}
+
+    def test_download_urls(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        urls = recipe.download_urls()
+        assert urls == [(
+            "http://www.povray.org/povlinux-3.6.tgz",
+            "file:///$POVRAY_DIR/povray.tgz",
+            "feedbeef",
+        )]
+
+    def test_total_compute_demand(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        assert recipe.total_compute_demand() == pytest.approx(123.5)
+
+
+class TestOrdering:
+    def test_dependency_order(self):
+        recipe = parse_deployfile(POVRAY_DEPLOYFILE)
+        ordered = [s.name for s in recipe.ordered_steps()]
+        assert ordered.index("Init") < ordered.index("Download")
+        assert ordered.index("Download") < ordered.index("Expand")
+        assert ordered.index("Configure") < ordered.index("Build")
+
+    def test_parallel_branches_both_scheduled(self):
+        recipe = parse_deployfile("""
+<Build name="fan" baseDir="/tmp">
+  <Step name="root" task="mkdir-p"/>
+  <Step name="a" depends="root" task="make a"/>
+  <Step name="b" depends="root" task="make b"/>
+  <Step name="join" depends="a,b" task="make join"/>
+</Build>""")
+        ordered = [s.name for s in recipe.ordered_steps()]
+        assert ordered[0] == "root"
+        assert ordered[-1] == "join"
+        assert set(ordered[1:3]) == {"a", "b"}
+
+    def test_cycle_rejected(self):
+        with pytest.raises(InvalidTypeDescription, match="cycle"):
+            parse_deployfile("""
+<Build name="loop" baseDir="/tmp">
+  <Step name="a" depends="b" task="x"/>
+  <Step name="b" depends="a" task="y"/>
+</Build>""")
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(InvalidTypeDescription, match="unknown step"):
+            parse_deployfile("""
+<Build name="bad" baseDir="/tmp">
+  <Step name="a" depends="ghost" task="x"/>
+</Build>""")
+
+
+class TestValidation:
+    def test_wrong_root_rejected(self):
+        with pytest.raises(InvalidTypeDescription, match="Build"):
+            parse_deployfile("<Steps><Step name='a' task='x'/></Steps>")
+
+    def test_empty_recipe_rejected(self):
+        with pytest.raises(InvalidTypeDescription, match="no steps"):
+            parse_deployfile('<Build name="empty" baseDir="/tmp"></Build>')
+
+    def test_unnamed_step_rejected(self):
+        with pytest.raises(InvalidTypeDescription, match="needs a name"):
+            parse_deployfile('<Build name="x"><Step task="y"/></Build>')
+
+    def test_duplicate_step_rejected(self):
+        with pytest.raises(InvalidTypeDescription, match="duplicate"):
+            parse_deployfile("""
+<Build name="dup" baseDir="/tmp">
+  <Step name="a" task="x"/>
+  <Step name="a" task="y"/>
+</Build>""")

@@ -1,0 +1,156 @@
+"""End-to-end integration tests: the paper's Examples 2 and 3.
+
+Register an activity type on one site, discover and on-demand deploy
+it from another, through the full stack (RDM, registries, overlay,
+GridFTP, handlers, GRAM).
+"""
+
+import pytest
+
+from repro.apps import (
+    get_application,
+    publish_applications,
+    register_application,
+    register_base_hierarchy,
+)
+from repro.glare.model import ActivityDeployment
+from repro.vo import build_vo
+
+
+@pytest.fixture()
+def vo():
+    vo = build_vo(n_sites=4, seed=7, monitors=False)
+    publish_applications(vo)
+    vo.form_overlay()
+    return vo
+
+
+def deployments_from(wires):
+    return [ActivityDeployment.from_xml(w["xml"]) for w in wires]
+
+
+class TestRegistration:
+    def test_register_type_example2(self, vo):
+        result = vo.run_process(register_application(vo, "agrid01", "JPOVray"))
+        assert result["registered"] == "JPOVray"
+        assert vo.stack("agrid01").atr.find_type("JPOVray") is not None
+        # registration is local only: other sites don't know it yet
+        assert vo.stack("agrid02").atr.find_type("JPOVray") is None
+
+    def test_register_hierarchy(self, vo):
+        vo.run_process(register_base_hierarchy(vo, "agrid00"))
+        atr = vo.stack("agrid00").atr
+        assert "Imaging" in atr.hierarchy
+        assert "POVray" in atr.hierarchy
+        assert atr.hierarchy.ancestors("POVray") == ["ImageConversion", "Imaging"]
+
+
+class TestOnDemandDeployment:
+    def test_deploy_simple_app(self, vo):
+        """Wien2k (no dependencies) deploys on demand from a remote site."""
+        vo.run_process(register_application(vo, "agrid01", "Wien2k"))
+
+        def client():
+            wires = yield from vo.client_call("agrid02", "get_deployments",
+                                              payload="Wien2k")
+            return wires
+
+        wires = vo.run_process(client())
+        deployments = deployments_from(wires)
+        assert len(deployments) == 2  # wien2k + lapw0
+        names = {d.name for d in deployments}
+        assert names == {"wien2k", "lapw0"}
+        target = deployments[0].site
+        # the executable really exists on the target site's filesystem
+        fs = vo.stack(target).site.fs
+        assert fs.get_file([d for d in deployments if d.name == "wien2k"][0].path).executable
+
+    def test_deploy_resolves_dependencies(self, vo):
+        """JPOVray pulls Java and Ant onto the target site first (paper §2.2)."""
+        vo.run_process(register_base_hierarchy(vo, "agrid01"))
+        for app in ("Java", "Ant", "JPOVray"):
+            vo.run_process(register_application(vo, "agrid01", app))
+
+        def client():
+            wires = yield from vo.client_call("agrid03", "get_deployments",
+                                              payload="JPOVray")
+            return wires
+
+        wires = vo.run_process(client())
+        deployments = deployments_from(wires)
+        names = {d.name for d in deployments}
+        assert "jpovray" in names
+        assert "WS-JPOVray" in names
+        kinds = {d.name: d.kind.value for d in deployments}
+        assert kinds["jpovray"] == "executable"
+        assert kinds["WS-JPOVray"] == "service"
+        # dependencies were installed on the same target site
+        target = deployments[0].site
+        target_adr = vo.stack(target).adr
+        assert target_adr.local_deployments_for("Java")
+        assert target_adr.local_deployments_for("Ant")
+
+    def test_abstract_type_resolves_to_concrete(self, vo):
+        """Asking for ImageConversion (abstract) deploys JPOVray."""
+        vo.run_process(register_base_hierarchy(vo, "agrid01"))
+        for app in ("Java", "Ant", "JPOVray"):
+            vo.run_process(register_application(vo, "agrid01", app))
+
+        def client():
+            wires = yield from vo.client_call("agrid01", "get_deployments",
+                                              payload="ImageConversion")
+            return wires
+
+        deployments = deployments_from(vo.run_process(client()))
+        assert any(d.type_name == "JPOVray" for d in deployments)
+
+    def test_second_request_hits_cache(self, vo):
+        vo.run_process(register_application(vo, "agrid01", "Wien2k"))
+
+        def client():
+            yield from vo.client_call("agrid02", "get_deployments", payload="Wien2k")
+            t0 = vo.sim.now
+            yield from vo.client_call("agrid02", "get_deployments", payload="Wien2k")
+            return vo.sim.now - t0
+
+        second_duration = vo.run_process(client())
+        # second resolution is served from the local cache: milliseconds,
+        # not the seconds an installation takes
+        assert second_duration < 1.0
+
+    def test_unknown_type_raises(self, vo):
+        from repro.glare.errors import TypeNotFound
+
+        def client():
+            try:
+                yield from vo.client_call("agrid02", "get_deployments",
+                                          payload="NoSuchApp")
+            except TypeNotFound:
+                return "not-found"
+            return "found"
+
+        assert vo.run_process(client()) == "not-found"
+
+
+class TestInstantiation:
+    def test_instantiate_executable(self, vo):
+        vo.run_process(register_application(vo, "agrid01", "Wien2k"))
+
+        def client():
+            wires = yield from vo.client_call("agrid02", "get_deployments",
+                                              payload="Wien2k")
+            deployment = ActivityDeployment.from_xml(wires[0]["xml"])
+            result = yield from vo.network.call(
+                "agrid02", deployment.site, "glare-rdm", "instantiate",
+                payload={"key": deployment.key, "demand": 3.0},
+            )
+            return result, deployment
+
+        result, deployment = vo.run_process(client())
+        assert result["exit_code"] == 0
+        assert result["duration"] >= 3.0
+        # metrics were recorded by the status update
+        target_adr = vo.stack(deployment.site).adr
+        stored = target_adr.deployments[deployment.key]
+        assert stored.last_return_code == 0
+        assert stored.last_execution_time == pytest.approx(result["duration"])

@@ -1,0 +1,167 @@
+"""Unit tests for the GLARE data model (types, deployments, XML)."""
+
+import pytest
+
+from repro.glare.errors import InvalidTypeDescription
+from repro.glare.model import (
+    ActivityDeployment,
+    ActivityFunction,
+    ActivityType,
+    DeploymentKind,
+    DeploymentStatus,
+    InstallationSpec,
+    TypeKind,
+)
+
+
+def make_concrete(name="JPOVray", **kwargs):
+    installation = kwargs.pop("installation", InstallationSpec(
+        mode="on-demand",
+        constraints={"platform": "Intel", "os": "Linux"},
+        deploy_file_url="http://x/jpovray.build",
+        dependencies=["Java", "Ant"],
+    ))
+    return ActivityType(
+        name=name,
+        kind=TypeKind.CONCRETE,
+        base_types=["POVray", "Imaging"],
+        domain="imaging",
+        functions=[ActivityFunction("render", ["scene"], ["image"])],
+        benchmarks={"Intel": 1.5},
+        installation=installation,
+        deployment_names=["jpovray", "WS-JPOVray"],
+        **kwargs,
+    )
+
+
+class TestActivityType:
+    def test_xml_roundtrip(self):
+        original = make_concrete()
+        parsed = ActivityType.from_xml(original.to_xml())
+        assert parsed.name == original.name
+        assert parsed.kind == TypeKind.CONCRETE
+        assert parsed.base_types == original.base_types
+        assert parsed.domain == "imaging"
+        assert [f.name for f in parsed.functions] == ["render"]
+        assert parsed.functions[0].inputs == ["scene"]
+        assert parsed.benchmarks == {"Intel": 1.5}
+        assert parsed.installation.dependencies == ["Java", "Ant"]
+        assert parsed.installation.constraints["platform"] == "Intel"
+        assert parsed.deployment_names == ["jpovray", "WS-JPOVray"]
+
+    def test_abstract_type_roundtrip(self):
+        original = ActivityType(name="Imaging", kind=TypeKind.ABSTRACT,
+                                domain="imaging")
+        parsed = ActivityType.from_xml(original.to_xml())
+        assert parsed.kind == TypeKind.ABSTRACT
+        assert parsed.installation is None
+        assert not parsed.installable
+
+    def test_kind_inferred_from_installation(self):
+        """Paper Fig. 9 omits the kind attribute."""
+        xml = (
+            '<ActivityTypeEntry name="POVray" type="Imaging">'
+            '<Installation mode="on-demand">'
+            '<DeployFile url="http://x/p.build"/></Installation>'
+            "</ActivityTypeEntry>"
+        )
+        at = ActivityType.from_xml(xml)
+        assert at.kind == TypeKind.CONCRETE
+        assert "Imaging" in at.base_types  # `type` attr shorthand
+
+    def test_installable_requires_on_demand_and_deployfile(self):
+        at = make_concrete()
+        assert at.installable
+        manual = make_concrete(installation=InstallationSpec(
+            mode="manual", deploy_file_url="http://x/y.build"))
+        assert not manual.installable
+        no_file = make_concrete(installation=InstallationSpec(mode="on-demand"))
+        assert not no_file.installable
+
+    def test_abstract_with_installation_rejected(self):
+        with pytest.raises(InvalidTypeDescription):
+            ActivityType(name="Bad", kind=TypeKind.ABSTRACT,
+                         installation=InstallationSpec())
+
+    def test_self_extension_rejected(self):
+        with pytest.raises(InvalidTypeDescription):
+            ActivityType(name="X", base_types=["X"])
+
+    def test_deployment_limits_roundtrip(self):
+        at = make_concrete(min_deployments=1, max_deployments=3)
+        parsed = ActivityType.from_xml(at.to_xml())
+        assert parsed.min_deployments == 1
+        assert parsed.max_deployments == 3
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(InvalidTypeDescription):
+            make_concrete(min_deployments=5, max_deployments=2)
+
+    def test_unknown_installation_mode_rejected(self):
+        with pytest.raises(InvalidTypeDescription):
+            InstallationSpec(mode="sometimes")
+
+    def test_wrong_root_tag_rejected(self):
+        with pytest.raises(InvalidTypeDescription):
+            ActivityType.from_xml("<NotAType name='x'/>")
+
+
+class TestActivityDeployment:
+    def test_executable_roundtrip(self):
+        original = ActivityDeployment(
+            name="jpovray", type_name="JPOVray",
+            kind=DeploymentKind.EXECUTABLE, site="agrid03",
+            path="/opt/deployments/jpovray/bin/jpovray",
+            home="/opt/deployments/jpovray",
+            status=DeploymentStatus.ACTIVE,
+            last_execution_time=12.5, last_return_code=0,
+            environment={"JPOVRAY_HOME": "/opt/deployments/jpovray"},
+        )
+        parsed = ActivityDeployment.from_xml(original.to_xml())
+        assert parsed.key == "agrid03:jpovray"
+        assert parsed.kind == DeploymentKind.EXECUTABLE
+        assert parsed.path == original.path
+        assert parsed.status == DeploymentStatus.ACTIVE
+        assert parsed.last_execution_time == pytest.approx(12.5)
+        assert parsed.last_return_code == 0
+        assert parsed.environment["JPOVRAY_HOME"] == "/opt/deployments/jpovray"
+
+    def test_service_roundtrip(self):
+        original = ActivityDeployment(
+            name="WS-JPOVray", type_name="JPOVray",
+            kind=DeploymentKind.SERVICE, site="agrid03",
+            endpoint="https://agrid03/wsrf/services/WS-JPOVray",
+        )
+        parsed = ActivityDeployment.from_xml(original.to_xml())
+        assert parsed.kind == DeploymentKind.SERVICE
+        assert parsed.endpoint.startswith("https://")
+        assert parsed.status == DeploymentStatus.PENDING
+        assert not parsed.usable
+
+    def test_executable_needs_path(self):
+        with pytest.raises(InvalidTypeDescription):
+            ActivityDeployment(name="x", type_name="T",
+                               kind=DeploymentKind.EXECUTABLE, site="s")
+
+    def test_service_needs_endpoint(self):
+        with pytest.raises(InvalidTypeDescription):
+            ActivityDeployment(name="x", type_name="T",
+                               kind=DeploymentKind.SERVICE, site="s")
+
+    def test_key_unique_per_site(self):
+        d1 = ActivityDeployment(name="app", type_name="T",
+                                kind=DeploymentKind.EXECUTABLE,
+                                site="a", path="/x")
+        d2 = ActivityDeployment(name="app", type_name="T",
+                                kind=DeploymentKind.EXECUTABLE,
+                                site="b", path="/x")
+        assert d1.key != d2.key
+
+
+class TestActivityFunction:
+    def test_roundtrip(self):
+        original = ActivityFunction("render", ["scene", "options"], ["image"])
+        parsed = ActivityFunction.from_xml(original.to_xml())
+        assert parsed.name == "render"
+        assert parsed.inputs == ["scene", "options"]
+        assert parsed.outputs == ["image"]

@@ -1,0 +1,86 @@
+"""Registry-change notifications: the mechanism behind Fig. 13's sinks."""
+
+import pytest
+
+from repro.glare.registry import ATR_SERVICE
+from repro.vo import build_vo
+from repro.wsrf.notification import NotificationSink
+
+TYPE_XML = (
+    '<ActivityTypeEntry name="Notified" kind="concrete">'
+    "<Domain>x</Domain></ActivityTypeEntry>"
+)
+
+
+@pytest.fixture()
+def vo():
+    vo = build_vo(n_sites=3, seed=151, monitors=False)
+    vo.form_overlay()
+    return vo
+
+
+def test_sink_receives_registration_event(vo):
+    sink = NotificationSink(vo.network, "agrid02", name="watcher")
+    out = vo.run_process(vo.network.call(
+        "agrid02", "agrid01", ATR_SERVICE, "subscribe",
+        payload={"sink_site": "agrid02", "sink_service": "watcher"},
+    ))
+    assert out["subscription_id"] > 0
+    vo.run_process(vo.client_call("agrid01", "register_type",
+                                  payload={"xml": TYPE_XML}))
+    vo.sim.run(until=vo.sim.now + 2)
+    assert sink.received
+    event = sink.received[-1]
+    assert event["event"] == "registered"
+    assert event["type"] == "Notified"
+    assert event["site"] == "agrid01"
+
+
+def test_sink_receives_removal_event(vo):
+    sink = NotificationSink(vo.network, "agrid02", name="watcher")
+    vo.run_process(vo.network.call(
+        "agrid02", "agrid01", ATR_SERVICE, "subscribe",
+        payload={"sink_site": "agrid02", "sink_service": "watcher"},
+    ))
+    vo.run_process(vo.client_call("agrid01", "register_type",
+                                  payload={"xml": TYPE_XML}))
+    vo.run_process(vo.network.call(
+        "agrid02", "agrid01", ATR_SERVICE, "remove_type", payload="Notified",
+    ))
+    vo.sim.run(until=vo.sim.now + 2)
+    events = [e["event"] for e in sink.received]
+    assert events == ["registered", "removed"]
+
+
+def test_unsubscribe_stops_events(vo):
+    sink = NotificationSink(vo.network, "agrid02", name="watcher")
+    out = vo.run_process(vo.network.call(
+        "agrid02", "agrid01", ATR_SERVICE, "subscribe",
+        payload={"sink_site": "agrid02", "sink_service": "watcher"},
+    ))
+    result = vo.run_process(vo.network.call(
+        "agrid02", "agrid01", ATR_SERVICE, "unsubscribe",
+        payload=out["subscription_id"],
+    ))
+    assert result["unsubscribed"] is True
+    vo.run_process(vo.client_call("agrid01", "register_type",
+                                  payload={"xml": TYPE_XML}))
+    vo.sim.run(until=vo.sim.now + 2)
+    assert sink.received == []
+
+
+def test_unsubscribe_unknown_id(vo):
+    result = vo.run_process(vo.network.call(
+        "agrid02", "agrid01", ATR_SERVICE, "unsubscribe", payload=987654,
+    ))
+    assert result["unsubscribed"] is False
+
+
+def test_no_subscribers_no_cost(vo):
+    """Publishing with no sinks is a no-op (Fig. 13's zero-sink point)."""
+    atr = vo.stack("agrid01").atr
+    assert atr.notifications.subscriber_count() == 0
+    vo.run_process(vo.client_call("agrid01", "register_type",
+                                  payload={"xml": TYPE_XML}))
+    assert atr.notifications.published >= 1
+    assert atr.notifications.delivered == 0

@@ -1,0 +1,79 @@
+"""Additional un-deployment unit coverage."""
+
+import pytest
+
+from repro.glare.model import ActivityDeployment, DeploymentKind, DeploymentStatus
+from repro.vo import build_vo
+
+TYPE_XML = (
+    '<ActivityTypeEntry name="UApp" kind="concrete">'
+    "<Domain>x</Domain></ActivityTypeEntry>"
+)
+
+
+@pytest.fixture()
+def vo():
+    vo = build_vo(n_sites=2, seed=331, monitors=False)
+    vo.form_overlay()
+    vo.run_process(vo.client_call("agrid01", "register_type",
+                                  payload={"xml": TYPE_XML}))
+    return vo
+
+
+def add_deployment(vo, name="uapp", home="/opt/deployments/uapp"):
+    deployment = ActivityDeployment(
+        name=name, type_name="UApp", kind=DeploymentKind.EXECUTABLE,
+        site="agrid01", path=f"{home}/bin/{name}", home=home,
+        status=DeploymentStatus.ACTIVE,
+    )
+    vo.stack("agrid01").site.fs.put_file(deployment.path, size=50,
+                                         executable=True)
+    vo.run_process(vo.client_call(
+        "agrid01", "register_deployment",
+        payload={"xml": deployment.to_xml().to_string()},
+    ))
+    return deployment
+
+
+def test_remove_files_false_keeps_installation(vo):
+    deployment = add_deployment(vo)
+    out = vo.run_process(vo.client_call(
+        "agrid01", "undeploy",
+        payload={"key": deployment.key, "remove_files": False},
+    ))
+    assert out["files_removed"] == 0
+    assert deployment.key not in vo.stack("agrid01").adr.deployments
+    # the binary survives on disk for manual cleanup / re-registration
+    assert vo.stack("agrid01").site.fs.exists(deployment.path)
+
+
+def test_undeploy_shared_home_removes_siblings_files(vo):
+    first = add_deployment(vo, name="tool_a")
+    second = add_deployment(vo, name="tool_b")
+    vo.run_process(vo.client_call("agrid01", "undeploy",
+                                  payload={"key": first.key}))
+    fs = vo.stack("agrid01").site.fs
+    # removing the home wiped both binaries (documented behaviour) ...
+    assert not fs.exists(first.path)
+    assert not fs.exists(second.path)
+    # ... but only the requested registration was removed
+    assert second.key in vo.stack("agrid01").adr.deployments
+
+
+def test_undeploy_type_with_remove_type(vo):
+    add_deployment(vo)
+    out = vo.run_process(vo.client_call(
+        "agrid01", "undeploy_type",
+        payload={"type": "UApp", "remove_type": True},
+    ))
+    assert out["type_removed"] is True
+    assert vo.stack("agrid01").atr.find_type("UApp") is None
+    assert vo.stack("agrid01").adr.local_deployments_for("UApp") == []
+
+
+def test_undeploy_type_no_deployments_is_noop(vo):
+    out = vo.run_process(vo.client_call(
+        "agrid01", "undeploy_type", payload={"type": "UApp"},
+    ))
+    assert out["deployments_removed"] == []
+    assert out["type_removed"] is False

@@ -1,0 +1,154 @@
+"""Unit tests for the GRAM job-manager substrate."""
+
+import pytest
+
+from repro.gram import GramService, JobSpec, JobState
+from repro.gram.service import UnknownJob
+from repro.net import Network, Topology
+from repro.simkernel import Simulator
+
+
+def make_world(overhead=0.5):
+    sim = Simulator(seed=5)
+    topo = Topology.full_mesh(["client", "exec"], latency=0.002, bandwidth=1e7)
+    net = Network(sim, topo)
+    net.add_node("client")
+    net.add_node("exec", cores=2)
+    gram = GramService(net, "exec", submission_overhead=overhead)
+    return sim, net, gram
+
+
+def run_client(sim, body):
+    proc = sim.process(body)
+    sim.run()
+    assert proc.ok
+    return proc.value
+
+
+class TestSubmission:
+    def test_submit_and_wait(self):
+        sim, net, gram = make_world()
+
+        def client():
+            job_id = yield from net.call(
+                "client", "exec", "gram", "submit", payload=JobSpec("make", cpu_demand=3.0)
+            )
+            snap = yield from net.call("client", "exec", "gram", "wait", payload=job_id)
+            return snap
+
+        snap = run_client(sim, client())
+        assert snap["state"] == "done"
+        assert snap["exit_code"] == 0
+        assert snap["finished_at"] - snap["started_at"] == pytest.approx(3.0, abs=0.1)
+
+    def test_submission_overhead_charged(self):
+        sim, net, gram = make_world(overhead=2.0)
+
+        def client():
+            job_id = yield from net.call(
+                "client", "exec", "gram", "submit", payload=JobSpec("true", cpu_demand=0.0)
+            )
+            return job_id
+
+        run_client(sim, client())
+        assert sim.now >= 2.0
+
+    def test_failing_job_reports_failure(self):
+        sim, net, gram = make_world()
+
+        def client():
+            job_id = yield from net.call(
+                "client", "exec", "gram", "submit",
+                payload=JobSpec("bad", cpu_demand=1.0, fail=True),
+            )
+            snap = yield from net.call("client", "exec", "gram", "wait", payload=job_id)
+            return snap
+
+        snap = run_client(sim, client())
+        assert snap["state"] == "failed"
+        assert snap["exit_code"] == 1
+
+    def test_walltime_limit_kills_job(self):
+        sim, net, gram = make_world()
+
+        def client():
+            job_id = yield from net.call(
+                "client", "exec", "gram", "submit",
+                payload=JobSpec("hang", cpu_demand=100.0, walltime_limit=2.0),
+            )
+            snap = yield from net.call("client", "exec", "gram", "wait", payload=job_id)
+            return snap
+
+        snap = run_client(sim, client())
+        assert snap["state"] == "failed"
+        assert "walltime" in snap["error"]
+
+    def test_cancel_pending_job(self):
+        sim, net, gram = make_world()
+
+        def client():
+            # Saturate both cores, then cancel a queued third job.
+            ids = []
+            for _ in range(3):
+                job_id = yield from net.call(
+                    "client", "exec", "gram", "submit",
+                    payload=JobSpec("work", cpu_demand=50.0),
+                )
+                ids.append(job_id)
+            yield from net.call("client", "exec", "gram", "cancel", payload=ids[2])
+            snap = yield from net.call("client", "exec", "gram", "wait", payload=ids[2])
+            return snap
+
+        snap = run_client(sim, client())
+        assert snap["state"] == "cancelled"
+
+    def test_status_of_unknown_job(self):
+        sim, net, gram = make_world()
+        caught = []
+
+        def client():
+            try:
+                yield from net.call("client", "exec", "gram", "status", payload=999999)
+            except UnknownJob:
+                caught.append(True)
+
+        sim.process(client())
+        sim.run()
+        assert caught == [True]
+
+    def test_concurrent_jobs_share_cores(self):
+        sim, net, gram = make_world(overhead=0.0)
+
+        def client():
+            ids = []
+            for _ in range(4):
+                job_id = yield from net.call(
+                    "client", "exec", "gram", "submit",
+                    payload=JobSpec("work", cpu_demand=10.0),
+                )
+                ids.append(job_id)
+            snaps = []
+            for job_id in ids:
+                snaps.append(
+                    (yield from net.call("client", "exec", "gram", "wait", payload=job_id))
+                )
+            return snaps
+
+        snaps = run_client(sim, client())
+        assert all(s["state"] == "done" for s in snaps)
+        # 4 jobs x 10s on 2 cores: about 20s total, not 10 and not 40.
+        assert 18 < sim.now < 25
+
+    def test_rejects_non_jobspec(self):
+        sim, net, gram = make_world()
+        caught = []
+
+        def client():
+            try:
+                yield from net.call("client", "exec", "gram", "submit", payload="ls")
+            except TypeError:
+                caught.append(True)
+
+        sim.process(client())
+        sim.run()
+        assert caught == [True]

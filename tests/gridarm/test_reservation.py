@@ -1,0 +1,144 @@
+"""Unit tests for GridARM leasing (paper §3.2, Deployment Leasing)."""
+
+import pytest
+
+from repro.glare.errors import LeaseError, NotAuthorized
+from repro.gridarm import LeaseKind, ReservationService
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.simkernel import Simulator
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator(seed=91)
+    topo = Topology.full_mesh(["host", "client"], latency=0.002, bandwidth=1e7)
+    net = Network(sim, topo)
+    net.add_node("host")
+    net.add_node("client")
+    service = ReservationService(net, "host")
+    return sim, net, service
+
+
+def authorize(sim, service, key, ticket_id, client="client"):
+    proc = sim.process(service.authorize_instantiation(key, ticket_id, client))
+    sim.run(until=proc)
+    return proc.value
+
+
+class TestExclusiveLeases:
+    def test_reserve_and_authorize(self, world):
+        sim, net, service = world
+        ticket = service.make_lease("s:app", "client", 0.0, 100.0)
+        authorize(sim, service, "s:app", ticket.ticket_id)  # no exception
+        service.instantiation_finished("s:app", ticket.ticket_id)
+
+    def test_no_ticket_rejected_during_lease(self, world):
+        sim, net, service = world
+        service.make_lease("s:app", "client", 0.0, 100.0)
+        with pytest.raises(NotAuthorized, match="ticket is required"):
+            authorize(sim, service, "s:app", None)
+
+    def test_unleased_deployment_freely_usable(self, world):
+        sim, net, service = world
+        authorize(sim, service, "s:app", None)  # no lease: no exception
+
+    def test_overlapping_exclusive_rejected(self, world):
+        sim, net, service = world
+        service.make_lease("s:app", "a", 0.0, 100.0)
+        with pytest.raises(LeaseError, match="exclusively leased"):
+            service.make_lease("s:app", "b", 50.0, 150.0)
+
+    def test_non_overlapping_exclusive_allowed(self, world):
+        sim, net, service = world
+        service.make_lease("s:app", "a", 0.0, 100.0)
+        ticket = service.make_lease("s:app", "b", 100.0, 200.0)
+        assert ticket.ticket_id
+
+    def test_expired_ticket_rejected(self, world):
+        sim, net, service = world
+        ticket = service.make_lease("s:app", "client", 0.0, 10.0)
+        sim.run(until=50.0)
+        # the lease itself has ended: deployment is freely usable again
+        authorize(sim, service, "s:app", None)
+
+    def test_wrong_ticket_rejected(self, world):
+        sim, net, service = world
+        service.make_lease("s:app", "client", 0.0, 100.0)
+        with pytest.raises(NotAuthorized):
+            authorize(sim, service, "s:app", 999999)
+
+    def test_future_lease_not_yet_active(self, world):
+        sim, net, service = world
+        ticket = service.make_lease("s:app", "client", 50.0, 100.0)
+        # before the window opens the deployment is freely usable
+        authorize(sim, service, "s:app", None)
+        sim.run(until=60.0)
+        with pytest.raises(NotAuthorized):
+            authorize(sim, service, "s:app", None)
+        authorize(sim, service, "s:app", ticket.ticket_id)
+
+
+class TestSharedLeases:
+    def test_concurrency_limit_enforced(self, world):
+        sim, net, service = world
+        t1 = service.make_lease("s:app", "a", 0.0, 100.0,
+                                kind=LeaseKind.SHARED, max_concurrent=2)
+        t2 = service.make_lease("s:app", "b", 0.0, 100.0,
+                                kind=LeaseKind.SHARED, max_concurrent=2)
+        t3 = service.make_lease("s:app", "c", 0.0, 100.0,
+                                kind=LeaseKind.SHARED, max_concurrent=2)
+        authorize(sim, service, "s:app", t1.ticket_id)
+        authorize(sim, service, "s:app", t2.ticket_id)
+        with pytest.raises(NotAuthorized, match="concurrency limit"):
+            authorize(sim, service, "s:app", t3.ticket_id)
+        # a slot frees up: the third holder can now run
+        service.instantiation_finished("s:app", t1.ticket_id)
+        authorize(sim, service, "s:app", t3.ticket_id)
+
+    def test_shared_and_exclusive_conflict(self, world):
+        sim, net, service = world
+        service.make_lease("s:app", "a", 0.0, 100.0, kind=LeaseKind.SHARED,
+                           max_concurrent=4)
+        with pytest.raises(LeaseError):
+            service.make_lease("s:app", "b", 10.0, 60.0)
+
+    def test_invalid_parameters(self, world):
+        sim, net, service = world
+        with pytest.raises(LeaseError):
+            service.make_lease("s:app", "a", 100.0, 100.0)
+        with pytest.raises(LeaseError):
+            service.make_lease("s:app", "a", 0.0, 10.0,
+                               kind=LeaseKind.SHARED, max_concurrent=0)
+
+
+class TestRemoteOperations:
+    def call(self, sim, net, method, payload):
+        def client():
+            value = yield from net.call("client", "host",
+                                        "gridarm-reservation", method,
+                                        payload=payload)
+            return value
+
+        proc = sim.process(client())
+        sim.run(until=proc)
+        return proc.value
+
+    def test_reserve_cancel_list(self, world):
+        sim, net, service = world
+        ticket = self.call(sim, net, "reserve",
+                           {"key": "s:app", "start": 0.0, "end": 100.0,
+                            "kind": "shared", "max_concurrent": 3})
+        assert ticket["kind"] == "shared"
+        leases = self.call(sim, net, "list_leases", "s:app")
+        assert len(leases) == 1
+        assert leases[0]["tickets"] == 1
+        out = self.call(sim, net, "cancel", ticket["ticket_id"])
+        assert out["cancelled"] is True
+        leases = self.call(sim, net, "list_leases", "s:app")
+        assert leases[0]["tickets"] == 0
+
+    def test_cancel_unknown_ticket(self, world):
+        sim, net, service = world
+        out = self.call(sim, net, "cancel", 424242)
+        assert out["cancelled"] is False

@@ -1,0 +1,187 @@
+"""Unit tests for the WS-MDS index baseline."""
+
+import pytest
+
+from repro.mds import IndexService
+from repro.net import Network, Topology
+from repro.simkernel import Simulator
+from repro.wsrf.xmldoc import Element
+
+
+def type_doc(name):
+    doc = Element("ActivityType", attrib={"name": name, "kind": "concrete"})
+    doc.make_child("Domain", text="imaging")
+    doc.make_child("Function", text="render")
+    return doc
+
+
+def make_world(n_sites=3, **index_kwargs):
+    sim = Simulator(seed=11)
+    names = [f"s{i}" for i in range(n_sites)]
+    topo = Topology.full_mesh(names, latency=0.003, bandwidth=1e7)
+    net = Network(sim, topo)
+    for n in names:
+        net.add_node(n, cores=2)
+    index = IndexService(net, "s0", **index_kwargs)
+    return sim, net, index
+
+
+def run(sim, gen):
+    proc = sim.process(gen)
+    sim.run()
+    assert proc.ok, proc.value
+    return proc.value
+
+
+class TestRegistrationAndQuery:
+    def test_register_then_query(self):
+        sim, net, index = make_world()
+
+        def client():
+            for i in range(5):
+                yield from net.call(
+                    "s1", "s0", "mds-index", "register",
+                    payload={"key": f"t{i}", "xml": type_doc(f"type{i}").to_string()},
+                )
+            hits = yield from net.call(
+                "s1", "s0", "mds-index", "query",
+                payload="//ActivityType[@name='type3']",
+            )
+            return hits
+
+        hits = run(sim, client())
+        assert len(hits) == 1
+        assert hits[0]["attrib"]["name"] == "type3"
+        assert index.resource_count == 5
+
+    def test_unregister(self):
+        sim, net, index = make_world()
+
+        def client():
+            yield from net.call(
+                "s1", "s0", "mds-index", "register",
+                payload={"key": "k", "xml": type_doc("gone").to_string()},
+            )
+            out = yield from net.call(
+                "s1", "s0", "mds-index", "unregister", payload={"key": "k"}
+            )
+            return out
+
+        out = run(sim, client())
+        assert out["removed"] is True
+        assert index.resource_count == 0
+
+    def test_query_cost_grows_with_registry_size(self):
+        """The O(n) XPath-scan behaviour behind paper Fig. 11."""
+        times = {}
+        for n in (10, 120):
+            sim, net, index = make_world(per_visit_cost=5e-5)
+            for i in range(n):
+                index.register_document(
+                    _epr(f"t{i}"), type_doc(f"type{i}")
+                )
+
+            def client():
+                start = sim.now
+                yield from net.call(
+                    "s1", "s0", "mds-index", "query",
+                    payload="//ActivityType[@name='type1']",
+                )
+                return sim.now - start
+
+            times[n] = run(sim, client())
+        assert times[120] > times[10] * 1.5
+
+
+class TestOverloadCollapse:
+    def test_thrash_multiplier_kicks_in(self):
+        sim, net, index = make_world(heap_node_budget=100.0)
+        for i in range(50):
+            index.register_document(_epr(f"t{i}"), type_doc(f"type{i}"))
+        index._active_queries = 11
+        assert index._pressure_multiplier() > 1.0
+        index._active_queries = 0
+
+    def test_no_thrash_under_budget(self):
+        sim, net, index = make_world()
+        for i in range(10):
+            index.register_document(_epr(f"t{i}"), type_doc(f"type{i}"))
+        index._active_queries = 2
+        assert index._pressure_multiplier() == 1.0
+        index._active_queries = 0
+
+    def test_collapse_under_many_clients_and_resources(self):
+        """>130 resources and >10 clients: service time explodes."""
+        sim, net, index = make_world(n_sites=4, heap_node_budget=4000.0)
+        for i in range(150):
+            index.register_document(_epr(f"t{i}"), type_doc(f"type{i}"))
+        completed = []
+
+        def client(cid):
+            while True:
+                yield from net.call(
+                    f"s{1 + cid % 3}", "s0", "mds-index", "query",
+                    payload="//ActivityType[@name='type7']",
+                )
+                completed.append(sim.now)
+
+        for cid in range(14):
+            sim.process(client(cid))
+        sim.run(until=60)
+        throughput = len(completed) / 60.0
+        assert throughput < 2.0  # effectively unresponsive
+        assert index.thrashed_queries > 0
+
+
+class TestHierarchy:
+    def test_site_keepalive_and_expiry(self):
+        sim, net, _local = make_world(n_sites=3)
+        community = IndexService(
+            net, "s1", community=True, registration_ttl=50.0, name="community-index"
+        )
+        leaf = IndexService(
+            net, "s2", upstream="s1", keepalive_interval=10.0, name="leaf-index",
+            upstream_service="community-index",
+        )
+        leaf.start()
+        sim.run(until=30)
+        # the community host itself is always a live member
+        assert community.live_sites() == ["s1", "s2"]
+        net.set_online("s2", False)
+        sim.run(until=200)
+        assert community.live_sites() == ["s1"]
+
+    def test_probe_reports_community_status(self):
+        sim, net, index = make_world()
+        community = IndexService(net, "s1", community=True, name="community")
+
+        def client():
+            local = yield from net.call("s2", "s0", "mds-index", "probe")
+            root = yield from net.call("s2", "s1", "community", "probe")
+            return local, root
+
+        local, root = run(sim, client())
+        assert local["community"] is False
+        assert root["community"] is True
+
+    def test_register_site_on_default_index_rejected(self):
+        sim, net, index = make_world()
+        caught = []
+
+        def client():
+            try:
+                yield from net.call(
+                    "s1", "s0", "mds-index", "register_site", payload={"site": "s1"}
+                )
+            except RuntimeError:
+                caught.append(True)
+
+        sim.process(client())
+        sim.run()
+        assert caught == [True]
+
+
+def _epr(key):
+    from repro.wsrf.resource import EndpointReference
+
+    return EndpointReference(address="s0/mds-index", service="mds-index", key=key)

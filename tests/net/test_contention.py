@@ -1,0 +1,81 @@
+"""Tests for the opt-in link bandwidth-contention model."""
+
+import pytest
+
+from repro.gridftp.service import GridFtpService, UrlCatalog
+from repro.net import Network, Topology
+from repro.simkernel import Simulator
+from repro.site.description import SiteDescription
+from repro.site.gridsite import GridSite
+
+
+def make_world(contention):
+    sim = Simulator(seed=61)
+    topo = Topology()
+    topo.add_link("src", "dst", latency=0.001, bandwidth=1e6)
+    topo.add_link("src", "other", latency=0.001, bandwidth=1e6)
+    net = Network(sim, topo, contention=contention)
+    catalog = UrlCatalog()
+    sites = {}
+    for name in ("src", "dst", "other"):
+        sites[name] = GridSite(net, SiteDescription(name=name))
+        GridFtpService(net, name, fs=sites[name].fs, url_catalog=catalog)
+    sites["src"].fs.put_file("/data/big", size=2_000_000)
+    return sim, net, sites
+
+
+def run_parallel_fetches(contention, destinations):
+    sim, net, sites = make_world(contention)
+    finish_times = {}
+
+    def fetch(dst, index):
+        service = net.node(dst).services["gridftp"]
+        yield from service.fetch("src", "/data/big", f"/tmp/big{index}")
+        finish_times[(dst, index)] = sim.now
+
+    for index, dst in enumerate(destinations):
+        sim.process(fetch(dst, index))
+    sim.run()
+    return finish_times
+
+
+class TestContention:
+    def test_shared_link_halves_throughput(self):
+        solo = run_parallel_fetches(True, ["dst"])
+        pair = run_parallel_fetches(True, ["dst", "dst"])
+        solo_time = max(solo.values())
+        pair_time = max(pair.values())
+        # two 2MB transfers over one 1MB/s link: ~2x the solo duration
+        assert pair_time > 1.6 * solo_time
+
+    def test_disjoint_links_unaffected(self):
+        pair_disjoint = run_parallel_fetches(True, ["dst", "other"])
+        solo = run_parallel_fetches(True, ["dst"])
+        # different spokes of the star: no sharing beyond the src node
+        # (src-dst and src-other are distinct edges)
+        assert max(pair_disjoint.values()) == pytest.approx(
+            max(solo.values()), rel=0.2
+        )
+
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        topo = Topology()
+        topo.add_link("a", "b", latency=0.001, bandwidth=1e6)
+        net = Network(sim, topo)
+        assert net.contention is False
+        pair = run_parallel_fetches(False, ["dst", "dst"])
+        solo = run_parallel_fetches(False, ["dst"])
+        # without contention, parallel transfers don't slow each other
+        assert max(pair.values()) == pytest.approx(max(solo.values()), rel=0.15)
+
+    def test_link_counters_drain(self):
+        sim, net, sites = make_world(True)
+
+        def fetch(index):
+            service = net.node("dst").services["gridftp"]
+            yield from service.fetch("src", "/data/big", f"/tmp/b{index}")
+
+        for index in range(3):
+            sim.process(fetch(index))
+        sim.run()
+        assert net._link_active == {}

@@ -1,0 +1,133 @@
+"""Tests for message envelopes, size estimation, and service helpers."""
+
+import pytest
+
+from repro.net.message import Message, Response, estimate_size
+from repro.net.service import EchoService, Service
+from repro.net import Network, Topology
+from repro.simkernel import CPU, Simulator
+
+
+class TestSizeEstimation:
+    def test_floor_applies(self):
+        assert estimate_size(None) == 256
+        assert estimate_size("x") == 256
+
+    def test_grows_with_payload(self):
+        small = estimate_size("a" * 100)
+        large = estimate_size("a" * 10_000)
+        assert large > small
+        assert large >= 10_000
+
+    def test_message_autosizes(self):
+        message = Message(src="a", dst="b", service="s", method="m",
+                          payload="p" * 5000)
+        assert message.size >= 5000
+        explicit = Message(src="a", dst="b", service="s", method="m",
+                           payload="p", size=12345)
+        assert explicit.size == 12345
+
+    def test_response_autosizes(self):
+        assert Response(value=None).size == 256
+        assert Response(value="v" * 4000).size >= 4000
+        assert Response(value="v", size=9).size == 9
+
+    def test_message_ids_unique(self):
+        a = Message(src="a", dst="b", service="s", method="m")
+        b = Message(src="a", dst="b", service="s", method="m")
+        assert a.msg_id != b.msg_id
+
+
+class TestServiceHelpers:
+    def make_net(self):
+        sim = Simulator(seed=3)
+        topo = Topology.full_mesh(["x", "y"], latency=0.002, bandwidth=1e7)
+        net = Network(sim, topo)
+        net.add_node("x")
+        net.add_node("y")
+        return sim, net
+
+    def test_duplicate_service_name_rejected(self):
+        sim, net = self.make_net()
+        EchoService(net, "x")
+        with pytest.raises(ValueError, match="already deployed"):
+            EchoService(net, "x")
+
+    def test_distinct_names_coexist(self):
+        sim, net = self.make_net()
+        EchoService(net, "x", name="echo-1")
+        EchoService(net, "x", name="echo-2")
+        assert set(net.node("x").services) == {"echo-1", "echo-2"}
+
+    def test_service_to_service_call(self):
+        sim, net = self.make_net()
+
+        class Relay(Service):
+            SERVICE_NAME = "relay"
+
+            def op_forward(self, message):
+                value = yield from self.call("y", "echo", "echo",
+                                             payload=message.payload)
+                return f"relayed:{value}"
+
+        Relay(net, "x")
+        EchoService(net, "y")
+
+        def client():
+            value = yield from net.call("y", "x", "relay", "forward",
+                                        payload="ping")
+            return value
+
+        proc = sim.process(client())
+        sim.run()
+        assert proc.value == "relayed:ping"
+
+    def test_requests_handled_counter(self):
+        sim, net = self.make_net()
+        echo = EchoService(net, "y")
+
+        def client():
+            for _ in range(3):
+                yield from net.call("x", "y", "echo", "echo", payload=1)
+
+        sim.process(client())
+        sim.run()
+        assert echo.requests_handled == 3
+
+
+class TestCpuAccounting:
+    def test_utilization_fraction(self):
+        sim = Simulator()
+        cpu = CPU(sim, cores=2)
+
+        def burn():
+            yield from cpu.execute(10.0)
+
+        sim.process(burn())
+        sim.process(burn())
+        sim.run(until=20.0)
+        # 20 core-seconds of work over 20s on 2 cores = 50%
+        assert cpu.utilization() == pytest.approx(0.5, abs=0.01)
+
+    def test_speed_scales_duration(self):
+        sim = Simulator()
+        fast = CPU(sim, cores=1, speed=2.0)
+        done = []
+
+        def burn():
+            yield from fast.execute(10.0)
+            done.append(sim.now)
+
+        sim.process(burn())
+        sim.run()
+        assert done == [5.0]
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CPU(sim, cores=0)
+        with pytest.raises(ValueError):
+            CPU(sim, cores=1, speed=0)
+        cpu = CPU(sim, cores=1)
+        with pytest.raises(ValueError):
+            list(cpu.execute(-1))

@@ -1,0 +1,88 @@
+"""Property-based tests: simulated filesystem invariants."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.site.filesystem import Filesystem, normalize
+
+segments = st.text(alphabet=string.ascii_lowercase + string.digits,
+                   min_size=1, max_size=8)
+paths = st.lists(segments, min_size=1, max_size=5).map(
+    lambda parts: "/" + "/".join(parts)
+)
+
+
+@given(paths)
+def test_normalize_idempotent(path):
+    assert normalize(normalize(path)) == normalize(path)
+
+
+@given(st.lists(segments, min_size=1, max_size=6))
+def test_normalize_strips_dot_segments(parts):
+    messy = "/" + "/./".join(parts) + "/."
+    assert normalize(messy) == "/" + "/".join(parts)
+
+
+@given(st.lists(st.tuples(paths, st.integers(min_value=0, max_value=10**9)),
+                min_size=1, max_size=15))
+@settings(max_examples=100)
+def test_put_get_roundtrip(entries):
+    fs = Filesystem()
+    expected = {}
+    for path, size in entries:
+        try:
+            fs.put_file(path, size=size)
+        except Exception:
+            # path collides with a directory created for another file
+            continue
+        expected[normalize(path)] = size
+    for path, size in expected.items():
+        assert fs.get_file(path).size == size
+    count, total = fs.disk_usage()
+    assert count == len(expected)
+    assert total == sum(expected.values())
+
+
+@given(st.lists(paths, min_size=1, max_size=10, unique=True))
+@settings(max_examples=100)
+def test_rmtree_removes_entire_subtree(file_paths):
+    fs = Filesystem()
+    created = []
+    for path in file_paths:
+        try:
+            fs.put_file("/data" + path, size=1)
+            created.append(normalize("/data" + path))
+        except Exception:
+            continue
+    assume(created)
+    removed = fs.rmtree("/data")
+    assert removed == len(set(created))
+    for path in created:
+        assert not fs.exists(path)
+    assert not fs.is_dir("/data")
+
+
+@given(st.lists(segments, min_size=1, max_size=8, unique=True))
+@settings(max_examples=100)
+def test_listdir_sees_all_children(names):
+    fs = Filesystem()
+    for name in names:
+        fs.put_file(f"/dir/{name}", size=1)
+    assert fs.listdir("/dir") == sorted(names)
+
+
+@given(st.lists(segments, min_size=1, max_size=6, unique=True),
+       st.booleans())
+@settings(max_examples=100)
+def test_find_executables_only_in_bin(names, executable):
+    fs = Filesystem()
+    for name in names:
+        fs.put_file(f"/app/bin/{name}", size=10, executable=executable)
+        fs.put_file(f"/app/lib/{name}", size=10, executable=True)
+    found = {e.name for e in fs.find_executables("/app")}
+    if executable:
+        assert found == set(names)
+    else:
+        assert found == set()

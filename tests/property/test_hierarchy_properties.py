@@ -1,0 +1,79 @@
+"""Property-based tests: the type hierarchy DAG invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.glare.hierarchy import TypeHierarchy
+from repro.glare.model import ActivityType, InstallationSpec, TypeKind
+
+
+@st.composite
+def hierarchies(draw):
+    """A random acyclic hierarchy: bases only among earlier types."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    h = TypeHierarchy()
+    names = [f"T{i}" for i in range(n)]
+    for index, name in enumerate(names):
+        base_pool = names[:index]
+        bases = draw(st.lists(st.sampled_from(base_pool), max_size=3,
+                              unique=True)) if base_pool else []
+        concrete = draw(st.booleans())
+        h.add(ActivityType(
+            name=name,
+            kind=TypeKind.CONCRETE if concrete else TypeKind.ABSTRACT,
+            base_types=bases,
+            installation=(
+                InstallationSpec(deploy_file_url=f"http://x/{name}.build")
+                if concrete else None
+            ),
+        ))
+    return h
+
+
+@given(hierarchies())
+@settings(max_examples=150)
+def test_ancestor_descendant_duality(h):
+    for name in h.names():
+        for ancestor in h.ancestors(name):
+            if h.get(ancestor) is not None:
+                assert name in h.descendants(ancestor)
+        for descendant in h.descendants(name):
+            assert name in h.ancestors(descendant)
+
+
+@given(hierarchies())
+@settings(max_examples=150)
+def test_concrete_resolution_only_returns_concrete(h):
+    for name in h.names():
+        for at in h.concrete_types_for(name):
+            assert at.kind == TypeKind.CONCRETE
+            assert at.name == name or name in h.ancestors(at.name)
+
+
+@given(hierarchies())
+@settings(max_examples=150)
+def test_no_self_ancestry(h):
+    for name in h.names():
+        assert name not in h.ancestors(name)
+        assert name not in h.descendants(name)
+
+
+@given(hierarchies())
+@settings(max_examples=100)
+def test_roots_have_no_known_bases(h):
+    for root in h.roots():
+        at = h.get(root)
+        assert not any(base in h for base in at.base_types)
+
+
+@given(hierarchies())
+@settings(max_examples=100)
+def test_remove_is_clean(h):
+    names = h.names()
+    if not names:
+        return
+    victim = names[len(names) // 2]
+    h.remove(victim)
+    assert victim not in h
+    for name in h.names():
+        assert victim not in h.descendants(name)

@@ -1,0 +1,99 @@
+"""Property-based tests: the semantic matcher's guarantees."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.glare.hierarchy import TypeHierarchy
+from repro.glare.model import (
+    ActivityFunction,
+    ActivityType,
+    InstallationSpec,
+    TypeKind,
+)
+from repro.glare.semantics import SemanticIndex, SemanticQuery, SynonymTable
+
+words = st.sampled_from(
+    ["render", "convert", "display", "calibrate", "run", "scene", "image",
+     "data", "result", "mesh", "field"]
+)
+
+
+@st.composite
+def populated_indexes(draw):
+    h = TypeHierarchy()
+    n = draw(st.integers(min_value=1, max_value=10))
+    for index in range(n):
+        concrete = draw(st.booleans())
+        functions = [
+            ActivityFunction(
+                name=draw(words),
+                inputs=draw(st.lists(words, max_size=2)),
+                outputs=draw(st.lists(words, max_size=2)),
+            )
+            for _ in range(draw(st.integers(min_value=0, max_value=2)))
+        ]
+        h.add(ActivityType(
+            name=f"T{index}",
+            kind=TypeKind.CONCRETE if concrete else TypeKind.ABSTRACT,
+            domain=draw(words),
+            functions=functions,
+            installation=(
+                InstallationSpec(deploy_file_url=f"http://x/{index}.build")
+                if concrete and draw(st.booleans()) else None
+            ),
+        ))
+    return SemanticIndex(h)
+
+
+@st.composite
+def queries(draw):
+    return SemanticQuery(
+        function=draw(st.one_of(st.just(""), words)),
+        inputs=draw(st.lists(words, max_size=2)),
+        outputs=draw(st.lists(words, max_size=1)),
+        domain=draw(st.one_of(st.just(""), words)),
+    )
+
+
+@given(populated_indexes(), queries())
+@settings(max_examples=150)
+def test_results_sorted_and_concrete(index, query):
+    matches = index.search(query)
+    scores = [m.score for m in matches]
+    assert scores == sorted(scores, reverse=True)
+    for match in matches:
+        at = index.hierarchy.get(match.type_name)
+        assert at is not None and at.is_concrete
+
+
+@given(populated_indexes(), queries())
+@settings(max_examples=150)
+def test_function_requirement_is_mandatory(index, query):
+    if not query.function:
+        return
+    synonyms = index.synonyms
+    for match in index.search(query):
+        at = index.hierarchy.get(match.type_name)
+        available = {f.name for f in index._functions_of(at)}
+        assert any(synonyms.same(query.function, name) for name in available)
+
+
+@given(populated_indexes(), queries())
+@settings(max_examples=100)
+def test_search_is_deterministic(index, query):
+    first = [(m.type_name, m.score) for m in index.search(query)]
+    second = [(m.type_name, m.score) for m in index.search(query)]
+    assert first == second
+
+
+@given(st.lists(st.sets(words, min_size=2, max_size=4), max_size=3))
+@settings(max_examples=100)
+def test_synonym_same_is_symmetric_and_reflexive(rings):
+    table = SynonymTable(rings=rings)
+    vocabulary = {w for ring in rings for w in ring} | {"unrelated"}
+    for a in vocabulary:
+        assert table.same(a, a)
+        for b in vocabulary:
+            assert table.same(a, b) == table.same(b, a)

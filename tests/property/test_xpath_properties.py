@@ -1,0 +1,81 @@
+"""Property-based tests for the XPath-subset engine."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wsrf.xmldoc import Element
+from repro.wsrf.xpath import XPathQuery
+
+tags = st.sampled_from(["Entry", "Type", "Deployment", "Meta", "Item"])
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+@st.composite
+def documents(draw, depth=0):
+    element = Element(draw(tags))
+    if draw(st.booleans()):
+        element.attrib["name"] = draw(names)
+    if depth < 3:
+        for child in draw(st.lists(documents(depth=depth + 1), max_size=4)):
+            element.append(child)
+    return element
+
+
+@given(documents(), tags)
+@settings(max_examples=200)
+def test_descendant_query_matches_iteration(doc, tag):
+    """``//Tag`` finds exactly the elements a full walk finds."""
+    results, visits = XPathQuery.compile(f"//{tag}").evaluate(doc)
+    expected = [e for e in doc.iter() if e.tag == tag]
+    assert results == expected
+    assert visits >= doc.count_nodes()
+
+
+@given(documents(), tags, names)
+@settings(max_examples=200)
+def test_attribute_predicate_soundness(doc, tag, name):
+    """Every match of ``//Tag[@name='x']`` really has that attribute."""
+    query = XPathQuery.compile(f"//{tag}[@name='{name}']")
+    results, _ = query.evaluate(doc)
+    for element in results:
+        assert element.tag == tag
+        assert element.attrib.get("name") == name
+    # completeness: nothing with the attribute was missed
+    expected = [
+        e for e in doc.iter()
+        if e.tag == tag and e.attrib.get("name") == name
+    ]
+    assert results == expected
+
+
+@given(documents())
+@settings(max_examples=100)
+def test_wildcard_child_step(doc):
+    results, _ = XPathQuery.compile("/*").evaluate(doc)
+    assert results == [doc]
+    results, _ = XPathQuery.compile(f"/{doc.tag}/*").evaluate(doc)
+    assert results == doc.children
+
+
+@given(st.lists(documents(), max_size=5), tags)
+@settings(max_examples=100)
+def test_forest_query_is_union_of_per_document_queries(forest, tag):
+    query = XPathQuery.compile(f"//{tag}")
+    combined, _ = query.evaluate(forest)
+    separate = []
+    for doc in forest:
+        results, _ = query.evaluate(doc)
+        separate.extend(results)
+    assert combined == separate
+
+
+@given(documents(), tags)
+@settings(max_examples=100)
+def test_evaluation_is_pure(doc, tag):
+    """Evaluating twice gives identical results and visit counts."""
+    query = XPathQuery.compile(f"//{tag}[@name]")
+    first = query.evaluate(doc)
+    second = query.evaluate(doc)
+    assert first == second

@@ -1,0 +1,168 @@
+"""Smoke tests for the simulation kernel core loop."""
+
+import pytest
+
+from repro.simkernel import (
+    CPU,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    LoadAverage,
+    Resource,
+    Simulator,
+    Store,
+)
+from repro.simkernel.kernel import SimulationError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(3.0)
+        log.append(sim.now)
+        yield sim.timeout(2.0)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [3.0, 5.0]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value * 2
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == 84
+
+
+def test_event_fail_propagates():
+    sim = Simulator()
+
+    def proc():
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        yield ev
+
+    p = sim.process(proc())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(until=p)
+
+
+def test_interrupt():
+    sim = Simulator()
+    caught = []
+
+    def victim():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as i:
+            caught.append((sim.now, i.cause))
+
+    def attacker(v):
+        yield sim.timeout(5)
+        v.interrupt("die")
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run()
+    assert caught == [(5.0, "die")]
+
+
+def test_all_of_any_of():
+    sim = Simulator()
+    results = {}
+
+    def proc():
+        t1, t2 = sim.timeout(1, "a"), sim.timeout(2, "b")
+        got = yield sim.any_of([t1, t2])
+        results["any_at"] = sim.now
+        results["any_n"] = len(got)
+        t3, t4 = sim.timeout(3, "c"), sim.timeout(1, "d")
+        yield sim.all_of([t3, t4])
+        results["all_at"] = sim.now
+
+    sim.process(proc())
+    sim.run()
+    assert results["any_at"] == 1.0
+    assert results["any_n"] == 1
+    assert results["all_at"] == 4.0
+
+
+def test_store_fifo_blocking():
+    sim = Simulator()
+    got = []
+
+    def producer(store):
+        for i in range(3):
+            yield sim.timeout(1)
+            yield store.put(i)
+
+    def consumer(store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+    store = Store(sim)
+    sim.process(producer(store))
+    sim.process(consumer(store))
+    sim.run()
+    assert got == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    active = []
+    peak = []
+
+    def worker(res):
+        req = res.request()
+        yield req
+        active.append(1)
+        peak.append(len(active))
+        yield sim.timeout(1)
+        active.pop()
+        res.release(req)
+
+    res = Resource(sim, capacity=2)
+    for _ in range(5):
+        sim.process(worker(res))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_cpu_and_loadavg():
+    sim = Simulator()
+    cpu = CPU(sim, cores=1)
+    la = LoadAverage(sim, cpu, interval=5.0)
+    la.start()
+
+    def burst():
+        yield from cpu.execute(30.0)
+
+    for _ in range(4):
+        sim.process(burst())
+    sim.run(until=200)
+    # Four 30-second jobs on one core keep the run queue at 4..1 for
+    # two minutes: the 1-min load average must rise well above zero.
+    assert la.peak() > 1.0
+    assert cpu.jobs_completed == 4
+    assert cpu.busy_time == pytest.approx(120.0)
+
+
+def test_run_until_event_requires_events():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)

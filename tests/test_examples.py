@@ -1,0 +1,48 @@
+"""Regression net: every example script must run to completion.
+
+The examples double as end-to-end scenario tests (they assert
+internally); this module executes them in-process via ``runpy``.
+They build whole VOs, so the batch is marked ``slow`` except for the
+quickstart, which stays in the default run as a smoke test.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "povray_workflow.py",
+    "manual_deployment.py",
+    "fault_tolerance.py",
+    "leasing.py",
+    "semantic_discovery.py",
+    "agwl_workflow.py",
+]
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert present == set(ALL_EXAMPLES)
+
+
+def test_quickstart_smoke(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Super-peer groups" in out
+    assert "deployment(s):" in out
+    assert "local cache" in out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", [e for e in ALL_EXAMPLES if e != "quickstart.py"])
+def test_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip(), f"{name} produced no output"

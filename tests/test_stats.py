@@ -1,0 +1,66 @@
+"""Tests for the VO metrics layer."""
+
+import pytest
+
+from repro.apps import get_application, publish_applications
+from repro.stats import collect_metrics
+from repro.vo import build_vo
+
+
+@pytest.fixture(scope="module")
+def active_vo():
+    vo = build_vo(n_sites=4, seed=301, monitors=False)
+    publish_applications(vo, ["Wien2k"])
+    vo.form_overlay()
+    spec = get_application("Wien2k")
+    vo.run_process(vo.client_call("agrid01", "register_type",
+                                  payload={"xml": spec.type_xml}))
+    # first resolution triggers an install; second hits the cache
+    vo.run_process(vo.client_call("agrid02", "get_deployments",
+                                  payload="Wien2k"))
+    vo.run_process(vo.client_call("agrid02", "get_deployments",
+                                  payload="Wien2k"))
+    return vo
+
+
+def test_resolution_breakdown(active_vo):
+    metrics = collect_metrics(active_vo)
+    breakdown = metrics.resolution_breakdown()
+    assert breakdown["on-demand-deploy"] == 1
+    assert breakdown["local"] >= 1  # the cached second resolution
+    assert metrics.total("requests") >= 2
+
+
+def test_super_peer_flags(active_vo):
+    metrics = collect_metrics(active_vo)
+    super_peers = [m.site for m in metrics.sites.values() if m.is_super_peer]
+    assert sorted(super_peers) == active_vo.super_peers()
+
+
+def test_registry_population_counts(active_vo):
+    metrics = collect_metrics(active_vo)
+    assert metrics.sites["agrid01"].local_types == 1
+    # agrid02 cached the type + deployments during resolution
+    assert metrics.sites["agrid02"].cached_types >= 1
+    assert metrics.sites["agrid02"].cached_deployments >= 1
+    assert metrics.total("local_deployments") >= 2  # wien2k + lapw0
+
+
+def test_traffic_counters_consistent(active_vo):
+    metrics = collect_metrics(active_vo)
+    assert metrics.total_messages > 0
+    # every message leaving some VO node arrives somewhere (origin host
+    # included, so VO-side in/out need not balance exactly; totals do)
+    assert metrics.total("messages_out") <= metrics.total_messages
+
+
+def test_render_is_readable(active_vo):
+    text = collect_metrics(active_vo).render()
+    assert "VO metrics" in text
+    assert "agrid01" in text
+    assert "cache hit rate" in text
+
+
+def test_cache_hit_rate_bounds(active_vo):
+    rate = collect_metrics(active_vo).cache_hit_rate()
+    assert 0.0 <= rate <= 1.0

@@ -1,0 +1,129 @@
+"""Tests for the AGWL workflow dialect parser/serializer."""
+
+import pytest
+
+from repro.workflow import Workflow, WorkflowError
+from repro.workflow.agwl import parse_agwl, to_agwl
+
+SAMPLE = """
+<agwl name="povray-imaging">
+  <Activity id="convert" type="ImageConversion" demand="8">
+    <Input name="scene.pov" size="200000"/>
+    <Output name="image.png" size="4000000"/>
+  </Activity>
+  <Activity id="visualize" type="Visualization" demand="2">
+    <Input name="image.png" size="4000000"/>
+  </Activity>
+  <Dependency from="convert" to="visualize"/>
+</agwl>
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        workflow = parse_agwl(SAMPLE)
+        assert workflow.name == "povray-imaging"
+        assert set(workflow.nodes) == {"convert", "visualize"}
+        convert = workflow.nodes["convert"]
+        assert convert.type_name == "ImageConversion"
+        assert convert.demand == 8.0
+        assert convert.inputs[0].name == "scene.pov"
+        assert convert.outputs[0].size == 4_000_000
+        assert workflow.edges == [("convert", "visualize")]
+
+    def test_parse_matches_builtin_example(self):
+        parsed = parse_agwl(SAMPLE)
+        builtin = Workflow.povray_example()
+        assert set(parsed.nodes) == set(builtin.nodes)
+        assert parsed.edges == builtin.edges
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(WorkflowError, match="agwl"):
+            parse_agwl("<workflow/>")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkflowError, match="cycle"):
+            parse_agwl("""
+<agwl name="loop">
+  <Activity id="a" type="T"/>
+  <Activity id="b" type="T"/>
+  <Dependency from="a" to="b"/>
+  <Dependency from="b" to="a"/>
+</agwl>""")
+
+    def test_unknown_dependency_endpoint_rejected(self):
+        with pytest.raises(WorkflowError):
+            parse_agwl("""
+<agwl name="bad">
+  <Activity id="a" type="T"/>
+  <Dependency from="a" to="ghost"/>
+</agwl>""")
+
+    def test_bad_demand_rejected(self):
+        with pytest.raises(WorkflowError, match="demand"):
+            parse_agwl('<agwl name="x"><Activity id="a" type="T" demand="lots"/></agwl>')
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        original = parse_agwl(SAMPLE)
+        again = parse_agwl(to_agwl(original))
+        assert set(again.nodes) == set(original.nodes)
+        assert again.edges == original.edges
+        for node_id, node in original.nodes.items():
+            other = again.nodes[node_id]
+            assert other.type_name == node.type_name
+            assert other.demand == node.demand
+            assert [i.name for i in other.inputs] == [i.name for i in node.inputs]
+            assert [o.size for o in other.outputs] == [o.size for o in node.outputs]
+
+    def test_roundtrip_builtin_example(self):
+        workflow = Workflow.povray_example()
+        again = parse_agwl(to_agwl(workflow))
+        assert set(again.nodes) == set(workflow.nodes)
+        assert again.edges == workflow.edges
+
+
+PARALLEL_FOR = """
+<agwl name="tiled">
+  <Activity id="split" type="Splitter" demand="1">
+    <Output name="tiles.idx" size="1000"/>
+  </Activity>
+  <ParallelFor id="tile" count="4" type="ImageConversion" demand="6">
+    <Output name="tile.png" size="1000000"/>
+  </ParallelFor>
+  <Activity id="merge" type="Compositor" demand="2"/>
+  <Dependency from="split" to="tile"/>
+  <Dependency from="tile" to="merge"/>
+</agwl>
+"""
+
+
+class TestParallelFor:
+    def test_expansion(self):
+        wf = parse_agwl(PARALLEL_FOR)
+        assert set(wf.nodes) == {"split", "merge",
+                                 "tile_0", "tile_1", "tile_2", "tile_3"}
+        for index in range(4):
+            node = wf.nodes[f"tile_{index}"]
+            assert node.type_name == "ImageConversion"
+            assert node.outputs[0].name == f"tile_{index}.png"
+
+    def test_fan_out_and_in_edges(self):
+        wf = parse_agwl(PARALLEL_FOR)
+        assert set(wf.successors("split")) == {f"tile_{i}" for i in range(4)}
+        assert set(wf.predecessors("merge")) == {f"tile_{i}" for i in range(4)}
+
+    def test_iterations_are_parallel(self):
+        wf = parse_agwl(PARALLEL_FOR)
+        # no edges among the iterations themselves
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert (f"tile_{i}", f"tile_{j}") not in wf.edges
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(WorkflowError, match="count"):
+            parse_agwl('<agwl name="x"><ParallelFor id="p" count="0" type="T"/></agwl>')
+        with pytest.raises(WorkflowError, match="count"):
+            parse_agwl('<agwl name="x"><ParallelFor id="p" count="many" type="T"/></agwl>')

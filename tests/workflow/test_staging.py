@@ -1,0 +1,96 @@
+"""Data staging between workflow activities on different sites."""
+
+import pytest
+
+from repro.glare.model import ActivityDeployment, DeploymentKind, DeploymentStatus
+from repro.vo import build_vo
+from repro.workflow import (
+    ActivityNode,
+    DataItem,
+    EnactmentEngine,
+    Workflow,
+)
+from repro.workflow.scheduler import Schedule, ScheduledActivity
+
+TYPE_XML = (
+    '<ActivityTypeEntry name="Stage" kind="concrete">'
+    "<Domain>x</Domain></ActivityTypeEntry>"
+)
+
+
+@pytest.fixture()
+def vo():
+    vo = build_vo(n_sites=3, seed=251, monitors=False)
+    vo.form_overlay()
+    for site in ("agrid01", "agrid02"):
+        vo.run_process(vo.client_call(site, "register_type",
+                                      payload={"xml": TYPE_XML}))
+        deployment = ActivityDeployment(
+            name="stage", type_name="Stage", kind=DeploymentKind.EXECUTABLE,
+            site=site, path="/opt/deployments/stage/bin/stage",
+            status=DeploymentStatus.ACTIVE,
+        )
+        vo.stack(site).site.fs.put_file(deployment.path, size=10,
+                                        executable=True)
+        vo.run_process(vo.client_call(
+            site, "register_deployment",
+            payload={"xml": deployment.to_xml().to_string()},
+        ))
+    return vo
+
+
+def cross_site_schedule(vo, output_size):
+    """producer on agrid01, consumer on agrid02 — staging required."""
+    wf = Workflow("staged")
+    wf.add(ActivityNode("produce", "Stage", demand=1.0,
+                        outputs=[DataItem("intermediate.dat", output_size)]))
+    wf.add(ActivityNode("consume", "Stage", demand=1.0,
+                        inputs=[DataItem("intermediate.dat", output_size)]))
+    wf.connect("produce", "consume")
+    schedule = Schedule(workflow=wf, home_site="agrid00")
+    for node_id, site in (("produce", "agrid01"), ("consume", "agrid02")):
+        deployment = vo.stack(site).adr.deployments[f"{site}:stage"]
+        schedule.mappings[node_id] = ScheduledActivity(
+            node=wf.nodes[node_id], deployment=deployment)
+    return schedule
+
+
+class TestStaging:
+    def test_cross_site_output_is_staged(self, vo):
+        schedule = cross_site_schedule(vo, output_size=5_000_000)
+        engine = EnactmentEngine(vo, "agrid00")
+        result = vo.run_process(engine.run(schedule))
+        assert result.success, result.error
+        assert result.bytes_staged == 5_000_000
+        assert result.runs["consume"].transfer_time > 0.3  # 5MB over WAN
+        # the intermediate file exists on BOTH sites afterwards
+        for site in ("agrid01", "agrid02"):
+            assert vo.stack(site).site.fs.exists(
+                "/scratch/wf/staged/intermediate.dat")
+
+    def test_staging_time_scales_with_size(self, vo):
+        small = cross_site_schedule(vo, output_size=500_000)
+        engine = EnactmentEngine(vo, "agrid00")
+        result_small = vo.run_process(engine.run(small))
+        vo2 = vo  # same VO; new workflow name avoids collisions
+        big_schedule = cross_site_schedule(vo2, output_size=20_000_000)
+        big_schedule.workflow.name = "staged-big"
+        result_big = vo2.run_process(engine.run(big_schedule))
+        assert (result_big.runs["consume"].transfer_time
+                > result_small.runs["consume"].transfer_time * 3)
+
+    def test_colocated_nodes_stage_nothing(self, vo):
+        wf = Workflow("local")
+        wf.add(ActivityNode("a", "Stage", demand=1.0,
+                            outputs=[DataItem("x.dat", 1_000_000)]))
+        wf.add(ActivityNode("b", "Stage", demand=1.0))
+        wf.connect("a", "b")
+        schedule = Schedule(workflow=wf, home_site="agrid00")
+        deployment = vo.stack("agrid01").adr.deployments["agrid01:stage"]
+        for node_id in ("a", "b"):
+            schedule.mappings[node_id] = ScheduledActivity(
+                node=wf.nodes[node_id], deployment=deployment)
+        engine = EnactmentEngine(vo, "agrid00")
+        result = vo.run_process(engine.run(schedule))
+        assert result.success
+        assert result.bytes_staged == 0

@@ -1,0 +1,53 @@
+"""Subscription lifetime (TTL) semantics of the notification broker."""
+
+import pytest
+
+from repro.net import Network, Topology
+from repro.simkernel import Simulator
+from repro.wsrf.notification import NotificationBroker, NotificationSink
+
+
+def make_world():
+    sim = Simulator(seed=5)
+    topo = Topology.full_mesh(["pub", "sink"], latency=0.002, bandwidth=1e7)
+    net = Network(sim, topo)
+    net.add_node("pub")
+    net.add_node("sink")
+    sink = NotificationSink(net, "sink")
+    broker = NotificationBroker(net, "pub")
+    return sim, net, broker, sink
+
+
+def test_expired_subscription_dropped_at_publish():
+    sim, net, broker, sink = make_world()
+    broker.subscribe("t", "sink", sink.name, ttl=10.0)
+    broker.publish("t", "early")
+    sim.run(until=5)
+    assert sink.received == ["early"]
+    sim.run(until=20)
+    broker.publish("t", "late")
+    sim.run(until=25)
+    assert sink.received == ["early"]  # expired before the second publish
+    assert broker.subscriber_count("t") == 0
+
+
+def test_unbounded_subscription_never_expires():
+    sim, net, broker, sink = make_world()
+    broker.subscribe("t", "sink", sink.name)
+    sim.run(until=10_000)
+    broker.publish("t", "still-here")
+    sim.run(until=10_005)
+    assert sink.received == ["still-here"]
+
+
+def test_mixed_ttls_partial_expiry():
+    sim, net, broker, sink = make_world()
+    sink2 = NotificationSink(net, "sink", name="sink2")
+    broker.subscribe("t", "sink", sink.name, ttl=5.0)
+    broker.subscribe("t", "sink", sink2.name, ttl=500.0)
+    sim.run(until=50)
+    count = broker.publish("t", "x")
+    sim.run(until=55)
+    assert count == 1
+    assert sink.received == []
+    assert sink2.received == ["x"]

@@ -1,0 +1,109 @@
+"""Unit tests for the XML infoset and parser."""
+
+import pytest
+
+from repro.wsrf.xmldoc import Element, XmlParseError, parse_xml
+
+DEPLOYFILE_SAMPLE = """
+<?xml version="1.0"?>
+<!-- deploy-file for POVray, paper Fig. 9 -->
+<Build baseDir="/tmp/papers/" defaultTask="Deploy" name="Povray">
+  <Step name="Init" task="mkdir-p" baseDir="$DEPLOYMENT_DIR" timeout="10">
+    <Env name="POVRAY_HOME" value="$DEPLOYMENT_DIR/povray/"/>
+    <Property name="argument" value="$POVRAY_HOME"/>
+  </Step>
+  <Step name="Download" depends="Init" task="globus-url-copy" timeout="20">
+    <Property name="source" value="http://www.povray.org/povlinux-3.6.tgz"/>
+  </Step>
+</Build>
+"""
+
+
+class TestParser:
+    def test_parse_deployfile(self):
+        root = parse_xml(DEPLOYFILE_SAMPLE)
+        assert root.tag == "Build"
+        assert root.get("name") == "Povray"
+        steps = root.findall("Step")
+        assert [s.get("name") for s in steps] == ["Init", "Download"]
+        assert steps[1].get("depends") == "Init"
+        prop = steps[1].find("Property")
+        assert prop.get("name") == "source"
+        assert prop.get("value").startswith("http://")
+
+    def test_text_content(self):
+        root = parse_xml("<A><B>hello</B><C> spaced </C></A>")
+        assert root.findtext("B") == "hello"
+        assert root.findtext("C") == "spaced"
+
+    def test_self_closing_and_attrs(self):
+        root = parse_xml('<X a="1" b="two"/>')
+        assert root.attrib == {"a": "1", "b": "two"}
+        assert root.children == []
+
+    def test_escapes_roundtrip(self):
+        original = Element("T", text='a < b & "c"')
+        parsed = parse_xml(original.to_string())
+        assert parsed.text == 'a < b & "c"'
+
+    def test_comments_skipped(self):
+        root = parse_xml("<A><!-- note --><B/><!-- tail --></A>")
+        assert [c.tag for c in root.children] == ["B"]
+
+    def test_mismatched_tag_raises(self):
+        with pytest.raises(XmlParseError, match="mismatched"):
+            parse_xml("<A><B></A></B>")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<A><B>")
+
+    def test_unquoted_attr_raises(self):
+        with pytest.raises(XmlParseError, match="quoted"):
+            parse_xml("<A x=1/>")
+
+    def test_trailing_content_raises(self):
+        with pytest.raises(XmlParseError, match="trailing"):
+            parse_xml("<A/><B/>")
+
+    def test_error_position_reported(self):
+        try:
+            parse_xml("<A>\n  <B x=></B>\n</A>")
+        except XmlParseError as e:
+            assert e.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected XmlParseError")
+
+
+class TestElement:
+    def test_make_child_and_find(self):
+        root = Element("Root")
+        root.make_child("Item", text="one", idx="1")
+        root.make_child("Item", text="two", idx="2")
+        assert len(root.findall("Item")) == 2
+        assert root.find("Item").get("idx") == "1"
+        assert root.find("Missing") is None
+
+    def test_iter_and_count(self):
+        root = parse_xml("<A><B><C/></B><D/></A>")
+        assert [e.tag for e in root.iter()] == ["A", "B", "C", "D"]
+        assert root.count_nodes() == 4
+
+    def test_deep_copy_is_detached(self):
+        root = parse_xml('<A k="v"><B/></A>')
+        clone = root.deep_copy()
+        clone.find("B").make_child("C")
+        assert root.find("B").children == []
+        assert clone.equals(root) is False
+        assert root.equals(root.deep_copy())
+
+    def test_parent_links(self):
+        root = parse_xml("<A><B><C/></B></A>")
+        c = root.find("B").find("C")
+        assert c.parent.tag == "B"
+        assert c.parent.parent is root
+
+    def test_roundtrip_serialization(self):
+        root = parse_xml(DEPLOYFILE_SAMPLE)
+        again = parse_xml(root.to_string())
+        assert root.equals(again)

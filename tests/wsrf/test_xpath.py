@@ -1,0 +1,112 @@
+"""Unit tests for the XPath-subset engine."""
+
+import pytest
+
+from repro.wsrf.xmldoc import parse_xml
+from repro.wsrf.xpath import XPathError, XPathQuery, xpath_find
+
+DOC = parse_xml(
+    """
+<Registry>
+  <Entry name="JPOVray" kind="concrete">
+    <Type>Imaging</Type>
+    <Deployment name="jpovray" kind="executable" path="/opt/jpovray/bin/jpovray"/>
+    <Deployment name="WS-JPOVray" kind="service" path="https://s3/wsrf/povray"/>
+  </Entry>
+  <Entry name="Wien2k" kind="concrete">
+    <Type>Physics</Type>
+    <Deployment name="wien2k" kind="executable" path="/opt/wien2k/bin/run"/>
+  </Entry>
+  <Entry name="Imaging" kind="abstract">
+    <Type>Root</Type>
+  </Entry>
+</Registry>
+"""
+)
+
+
+class TestQueries:
+    def test_descendant_by_attr(self):
+        res = xpath_find(DOC, "//Entry[@name='JPOVray']")
+        assert len(res) == 1
+        assert res[0].get("kind") == "concrete"
+
+    def test_child_path(self):
+        res = xpath_find(DOC, "/Registry/Entry/Deployment")
+        assert len(res) == 3
+
+    def test_attribute_extraction(self):
+        res = xpath_find(DOC, "//Deployment[@kind='executable']/@path")
+        assert res == ["/opt/jpovray/bin/jpovray", "/opt/wien2k/bin/run"]
+
+    def test_child_value_predicate(self):
+        res = xpath_find(DOC, "//Entry[Type='Imaging']")
+        assert [e.get("name") for e in res] == ["JPOVray"]
+
+    def test_text_extraction(self):
+        res = xpath_find(DOC, "//Entry[@name='Wien2k']/Type/text()")
+        assert res == ["Physics"]
+
+    def test_positional_predicate(self):
+        res = xpath_find(DOC, "/Registry/Entry[2]")
+        assert [e.get("name") for e in res] == ["Wien2k"]
+
+    def test_wildcard(self):
+        res = xpath_find(DOC, "/Registry/*")
+        assert len(res) == 3
+
+    def test_attr_existence_predicate(self):
+        res = xpath_find(DOC, "//Deployment[@path]")
+        assert len(res) == 3
+
+    def test_multiple_predicates(self):
+        res = xpath_find(DOC, "//Entry[@kind='concrete'][Type='Physics']")
+        assert [e.get("name") for e in res] == ["Wien2k"]
+
+    def test_no_match_returns_empty(self):
+        assert xpath_find(DOC, "//Entry[@name='nothing']") == []
+
+    def test_forest_evaluation(self):
+        doc2 = parse_xml('<Registry><Entry name="Extra" kind="concrete"/></Registry>')
+        q = XPathQuery.compile("//Entry")
+        results, _ = q.evaluate([DOC, doc2])
+        assert len(results) == 4
+
+
+class TestVisitAccounting:
+    def test_visits_scale_with_document_size(self):
+        """The MDS cost model: bigger aggregate => more nodes visited."""
+        q = XPathQuery.compile("//Entry[@name='target']")
+        small = parse_xml("<R>" + "<Entry name='x'/>" * 10 + "</R>")
+        large = parse_xml("<R>" + "<Entry name='x'/>" * 200 + "</R>")
+        _, visits_small = q.evaluate(small)
+        _, visits_large = q.evaluate(large)
+        assert visits_large > 10 * visits_small / 2
+        assert visits_large > visits_small
+
+    def test_visits_positive_even_without_match(self):
+        _, visits = XPathQuery.compile("//Nope").evaluate(DOC)
+        assert visits >= DOC.count_nodes()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "//Entry[@name=unquoted]",
+            "//@attr/Entry",
+            "//text()/Entry",
+            "@name",
+            "//Entry[]",
+        ],
+    )
+    def test_rejects_bad_expressions(self, bad):
+        with pytest.raises(XPathError):
+            XPathQuery.compile(bad)
+
+    def test_compile_is_reusable(self):
+        q = XPathQuery.compile("//Entry")
+        r1, _ = q.evaluate(DOC)
+        r2, _ = q.evaluate(DOC)
+        assert len(r1) == len(r2) == 3
