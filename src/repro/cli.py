@@ -8,10 +8,20 @@ Usage::
     python -m repro fig12
     python -m repro fig13 [--quick]
     python -m repro all [--quick]
+    python -m repro trace [deploy|lookup|election] [--chrome-out FILE]
+                          [--jsonl-out FILE]
+    python -m repro metrics [deploy|lookup|election]
 
-Each command rebuilds the corresponding table/figure of the paper on
-the simulated Grid and prints the rows/series.  ``--quick`` shrinks the
-sweeps (fewer points / smaller horizons) for a fast sanity pass.
+Each experiment command rebuilds the corresponding table/figure of the
+paper on the simulated Grid and prints the rows/series.  ``--quick``
+shrinks the sweeps (fewer points / smaller horizons) for a fast sanity
+pass.
+
+``trace`` runs a representative scenario on an observability-enabled VO
+and prints every captured trace as an indented span tree (optionally
+exporting Chrome trace-event JSON / JSONL); ``metrics`` runs the same
+scenario and prints the counters, latency histograms and sampled gauge
+series instead.
 """
 
 from __future__ import annotations
@@ -76,6 +86,45 @@ COMMANDS = {
     "fig13": _run_fig13,
 }
 
+#: scenario names accepted by the trace/metrics subcommands (mirrors
+#: repro.obs.scenarios.SCENARIOS; kept literal so --help never imports
+#: the VO machinery)
+SCENARIO_NAMES = ("deploy", "lookup", "election")
+
+
+def _run_trace(scenario: str, chrome_out: Optional[str],
+               jsonl_out: Optional[str]) -> str:
+    from repro.obs.export import export_chrome, export_jsonl, format_trace_tree
+    from repro.obs.scenarios import run_scenario
+
+    vo = run_scenario(scenario)
+    tracer = vo.obs.tracer
+    sections = []
+    for trace_id, spans in sorted(tracer.traces().items()):
+        sections.append(format_trace_tree(
+            spans, title=f"trace {trace_id} ({len(spans)} spans)"
+        ))
+    if not sections:
+        sections.append("(no spans captured)")
+    if chrome_out:
+        with open(chrome_out, "w") as stream:
+            events = export_chrome(tracer.spans, stream)
+        sections.append(f"wrote {events} Chrome trace events to {chrome_out}")
+    if jsonl_out:
+        with open(jsonl_out, "w") as stream:
+            written = export_jsonl(tracer.spans, stream)
+        sections.append(f"wrote {written} spans to {jsonl_out}")
+    return "\n\n".join(sections)
+
+
+def _run_metrics(scenario: str) -> str:
+    from repro.obs.export import render_metrics
+    from repro.obs.scenarios import run_scenario
+    from repro.stats import collect_metrics
+
+    vo = run_scenario(scenario)
+    return render_metrics(vo.obs.metrics) + "\n\n" + collect_metrics(vo).render()
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -85,14 +134,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all"],
-        help="which evaluation artefact to regenerate",
+        choices=sorted(COMMANDS) + ["all", "trace", "metrics"],
+        help="which evaluation artefact to regenerate, or "
+             "trace/metrics to observe a canned scenario",
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default="deploy", choices=SCENARIO_NAMES,
+        help="scenario for the trace/metrics subcommands "
+             "(default: deploy)",
     )
     parser.add_argument(
         "--quick", action="store_true",
         help="shrink sweeps for a fast sanity pass",
     )
+    parser.add_argument(
+        "--chrome-out", metavar="FILE", default=None,
+        help="trace only: also write Chrome trace-event JSON "
+             "(load in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--jsonl-out", metavar="FILE", default=None,
+        help="trace only: also write one JSON object per span",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        print(_run_trace(args.scenario, args.chrome_out, args.jsonl_out))
+        return 0
+    if args.experiment == "metrics":
+        print(_run_metrics(args.scenario))
+        return 0
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -103,6 +103,11 @@ class DeploymentHandler:
     def sim(self):
         return self.site.sim
 
+    @property
+    def obs(self):
+        """Observability bundle (via the colocated GridFTP service)."""
+        return self.gridftp.obs
+
     # -- main entry -------------------------------------------------------------
 
     def execute(
@@ -131,7 +136,10 @@ class DeploymentHandler:
                     report.handler_overhead += self.sim.now - started
                 phase_start = self.sim.now
                 try:
-                    yield from self._run_step(step, step_env, report)
+                    with self.obs.tracer.span(
+                        f"step:{step.kind}:{step.name}", site=self.site.name
+                    ):
+                        yield from self._run_step(step, step_env, report)
                 except (TransferError, FilesystemError, DeploymentFailed) as error:
                     report.steps.append(
                         StepResult(
@@ -143,6 +151,9 @@ class DeploymentHandler:
                     report.error = f"step {step.name!r} failed: {error}"
                     return report
                 elapsed = self.sim.now - phase_start
+                self.obs.metrics.histogram(
+                    "handler.step", handler=self.HANDLER_NAME, kind=step.kind
+                ).observe(elapsed)
                 if step.kind == "download":
                     report.communication_time += elapsed
                 else:

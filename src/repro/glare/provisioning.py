@@ -111,9 +111,12 @@ class DeploymentManager:
         done_event = self.sim.event(name=f"install:{activity_type.name}")
         self._in_flight[activity_type.name] = done_event
         try:
-            wires = yield from self._deploy_on_demand_inner(
-                activity_type, preferred_site, exclude_sites, _depth
-            )
+            with self.rdm.obs.tracer.span(
+                "deploy:on_demand", type=activity_type.name, depth=_depth
+            ):
+                wires = yield from self._deploy_on_demand_inner(
+                    activity_type, preferred_site, exclude_sites, _depth
+                )
             done_event.succeed({"ok": True, "wires": wires})
             return wires
         except BaseException:
@@ -174,29 +177,37 @@ class DeploymentManager:
         self, constraints: Dict[str, str], preferred_site: Optional[str]
     ) -> Generator:
         """Sites satisfying the installation constraints, best first."""
-        names = yield from self.rdm.known_sites()
-        if preferred_site:
-            names = [preferred_site] + [n for n in names if n != preferred_site]
-        candidates: List[str] = []
-        for name in names:
-            try:
-                info = yield from self.rdm.rpc(name, "site_info", None, timeout=8.0)
-            except (OfflineError, RpcTimeout):
-                continue
-            from repro.site.description import SiteDescription
+        obs = self.rdm.obs
+        started = self.sim.now
+        with obs.tracer.span("deploy:candidates") as span:
+            names = yield from self.rdm.known_sites()
+            if preferred_site:
+                names = [preferred_site] + [n for n in names if n != preferred_site]
+            candidates: List[str] = []
+            for name in names:
+                try:
+                    info = yield from self.rdm.rpc(name, "site_info", None, timeout=8.0)
+                except (OfflineError, RpcTimeout):
+                    continue
+                from repro.site.description import SiteDescription
 
-            desc = SiteDescription(
-                name=info["name"],
-                platform=info["platform"],
-                os=info["os"],
-                arch=info["arch"],
-                processor_speed_mhz=info["processor_speed_mhz"],
-                memory_mb=info["memory_mb"],
-                processors=info["processors"],
-                extra=info.get("extra", {}),
-            )
-            if desc.satisfies(constraints):
-                candidates.append(name)
+                desc = SiteDescription(
+                    name=info["name"],
+                    platform=info["platform"],
+                    os=info["os"],
+                    arch=info["arch"],
+                    processor_speed_mhz=info["processor_speed_mhz"],
+                    memory_mb=info["memory_mb"],
+                    processors=info["processors"],
+                    extra=info.get("extra", {}),
+                )
+                if desc.satisfies(constraints):
+                    candidates.append(name)
+            span.set_attr("considered", len(names))
+            span.set_attr("candidates", len(candidates))
+        obs.metrics.histogram("provision.candidate_selection").observe(
+            self.sim.now - started
+        )
         return candidates
 
     def _deploy_on(
@@ -205,34 +216,37 @@ class DeploymentManager:
         """Provision dependencies, then install on ``target``."""
         spec = activity_type.installation
         assert spec is not None
+        tracer = self.rdm.obs.tracer
         # Dependencies first — each must have a deployment on the target.
         for dep_name in spec.dependencies:
-            dep_wires = yield from self.rdm.rpc(
-                target, "local_lookup", {"type": dep_name}
-            )
-            deployed_here = [
-                w for w in dep_wires["deployments"]
-                if ActivityDeployment.from_xml(w["xml"]).site == target
-            ]
-            if deployed_here:
-                continue
-            dep_type = yield from self.rdm.request_manager.discover_type(dep_name)
-            if dep_type is None:
-                raise DeploymentFailed(
-                    f"dependency {dep_name!r} of {activity_type.name!r} is unknown"
+            with tracer.span("deploy:dependency", dependency=dep_name, target=target):
+                dep_wires = yield from self.rdm.rpc(
+                    target, "local_lookup", {"type": dep_name}
                 )
-            yield from self.deploy_on_demand(
-                dep_type, preferred_site=target, _depth=depth + 1
-            )
-            self.stats.dependencies_installed += 1
+                deployed_here = [
+                    w for w in dep_wires["deployments"]
+                    if ActivityDeployment.from_xml(w["xml"]).site == target
+                ]
+                if deployed_here:
+                    continue
+                dep_type = yield from self.rdm.request_manager.discover_type(dep_name)
+                if dep_type is None:
+                    raise DeploymentFailed(
+                        f"dependency {dep_name!r} of {activity_type.name!r} is unknown"
+                    )
+                yield from self.deploy_on_demand(
+                    dep_type, preferred_site=target, _depth=depth + 1
+                )
+                self.stats.dependencies_installed += 1
 
-        result = yield from self.rdm.rpc(
-            target, "deploy",
-            {"type_xml": activity_type.to_xml().to_string(),
-             "requester": self.rdm.node_name,
-             "handler": self.handler_kind},
-            timeout=600.0,
-        )
+        with tracer.span("deploy:install", target=target, type=activity_type.name):
+            result = yield from self.rdm.rpc(
+                target, "deploy",
+                {"type_xml": activity_type.to_xml().to_string(),
+                 "requester": self.rdm.node_name,
+                 "handler": self.handler_kind},
+                timeout=600.0,
+            )
         if not result["success"]:
             raise DeploymentFailed(result.get("error", "installation failed"))
         # cache what the target registered
@@ -268,14 +282,20 @@ class DeploymentManager:
                 "report": None,
             }
 
+        obs = self.rdm.obs
+
         # 1. fetch the deploy-file itself
         scratch = site.env["GLOBUS_SCRATCH_DIR"]
         deployfile_path = f"{scratch}/{activity_type.name}.build"
+        fetch_started = self.sim.now
         try:
-            yield from self.rdm.gridftp.fetch_url(
-                spec.deploy_file_url, deployfile_path,
-                expected_md5=spec.deploy_file_md5,
-            )
+            with obs.tracer.span(
+                "install:fetch_deployfile", url=spec.deploy_file_url, site=site.name
+            ):
+                yield from self.rdm.gridftp.fetch_url(
+                    spec.deploy_file_url, deployfile_path,
+                    expected_md5=spec.deploy_file_md5,
+                )
             recipe_xml = self.rdm.deployfile_source(spec.deploy_file_url)
             recipe = parse_deployfile(recipe_xml)
         except (TransferError, Exception) as error:
@@ -285,6 +305,9 @@ class DeploymentManager:
                 "deployments": [],
                 "report": None,
             }
+        obs.metrics.histogram("provision.transfer").observe(
+            self.sim.now - fetch_started
+        )
 
         # 2. make sure the type itself is registered locally first (the
         # dynamic type registration of paper §3.1) so deployment
@@ -302,7 +325,16 @@ class DeploymentManager:
             )
         else:
             handler = ExpectHandler(site, self.rdm.gridftp)
-        report = yield from handler.execute(recipe)
+        handler_started = self.sim.now
+        with obs.tracer.span(
+            "install:handler", handler=handler_kind, site=site.name,
+            recipe=recipe.name,
+        ) as handler_span:
+            report = yield from handler.execute(recipe)
+            handler_span.set_attr("success", report.success)
+        obs.metrics.histogram("provision.handler", handler=handler_kind).observe(
+            self.sim.now - handler_started
+        )
         self.stats.reports.append(report)
         if not report.success:
             return {
@@ -316,13 +348,17 @@ class DeploymentManager:
         deployments = self._identify_deployments(activity_type, report)
         wires = []
         registration_start = self.sim.now
-        for deployment in deployments:
-            yield from self.rdm.rpc_local_adr_register(
-                deployment, type_xml=activity_type.to_xml().to_string()
-            )
-            epr = self.rdm.adr.home.lookup(deployment.key).epr
-            wires.append(deployment_to_wire(deployment, epr))
+        with obs.tracer.span(
+            "install:register", site=site.name, count=len(deployments)
+        ):
+            for deployment in deployments:
+                yield from self.rdm.rpc_local_adr_register(
+                    deployment, type_xml=activity_type.to_xml().to_string()
+                )
+                epr = self.rdm.adr.home.lookup(deployment.key).epr
+                wires.append(deployment_to_wire(deployment, epr))
         registration_time = self.sim.now - registration_start
+        obs.metrics.histogram("provision.registration").observe(registration_time)
 
         # 5. notify the site administrator of the new installation
         yield from self.notify_admin(site.name, activity_type, reason="installed")
@@ -389,7 +425,10 @@ class DeploymentManager:
 
     def notify_admin(self, site: str, activity_type: ActivityType, reason: str) -> Generator:
         """E-mail the target site's administrator (simulated SMTP cost)."""
-        yield self.sim.timeout(NOTIFICATION_COST)
+        obs = self.rdm.obs
+        with obs.tracer.span("install:notify", site=site, reason=reason):
+            yield self.sim.timeout(NOTIFICATION_COST)
+        obs.metrics.histogram("provision.notification").observe(NOTIFICATION_COST)
         self.stats.notifications_sent += 1
         self.rdm.admin_notifications.append(
             {"site": site, "type": activity_type.name, "reason": reason,

@@ -156,6 +156,41 @@ class RequestManager:
         failed sites — including for any fresh on-demand installation.
         """
         self.requests += 1
+        obs = self.rdm.obs
+        if not obs.enabled:
+            wires = yield from self._resolve(type_name, auto_deploy, exclude_sites)
+            return wires
+        started = self.sim.now
+        before = self._tier_counters()
+        with obs.tracer.span(
+            "glare:get_deployments", type=type_name, site=self.rdm.node_name
+        ) as span:
+            wires = yield from self._resolve(type_name, auto_deploy, exclude_sites)
+            tier = self._tier_delta(before)
+            span.set_attr("tier", tier)
+            span.set_attr("deployments", len(wires))
+            obs.metrics.counter("glare.resolutions", tier=tier).inc()
+            obs.metrics.histogram("glare.get_deployments", tier=tier).observe(
+                self.sim.now - started
+            )
+        return wires
+
+    def _tier_counters(self) -> tuple:
+        return (self.resolved_locally, self.resolved_in_group,
+                self.resolved_via_superpeer, self.resolved_by_deployment)
+
+    def _tier_delta(self, before: tuple) -> str:
+        """Which resolution counter moved since ``before`` was captured."""
+        names = ("local", "group", "super-peer", "on-demand")
+        for name, was, now in zip(names, before, self._tier_counters()):
+            if now > was:
+                return name
+        return "unresolved"
+
+    def _resolve(self, type_name: str, auto_deploy: bool = True,
+                 exclude_sites: tuple = ()) -> Generator:
+        """The resolution walk itself (see :meth:`get_deployments`)."""
+        tracer = self.rdm.obs.tracer
         excluded = set(exclude_sites)
 
         def _usable(wires):
@@ -172,7 +207,8 @@ class RequestManager:
         # registries — this is exactly the contrast paper Fig. 12
         # measures (cache on vs off over 1/3/7 sites).
         cache_on = self.rdm.adr.cache_enabled
-        local = self.local_lookup(type_name)
+        with tracer.span("tier:local", type=type_name):
+            local = self.local_lookup(type_name)
         if cache_on and _usable(local["deployments"]):
             self.resolved_locally += 1
             return _usable(local["deployments"])
@@ -184,7 +220,10 @@ class RequestManager:
         # iterative lookup across my group
         peers = [s for s in view.peers_of(me)]
         if peers:
-            results = yield from self.fanout(peers, "local_lookup", {"type": type_name})
+            with tracer.span("tier:group", peers=len(peers)):
+                results = yield from self.fanout(
+                    peers, "local_lookup", {"type": type_name}
+                )
             gathered.extend(results)
             merged = _merge(gathered)
             self._cache_results(merged)
@@ -197,12 +236,16 @@ class RequestManager:
         # super-peer escalation
         sp_result: Optional[Dict] = None
         if self.rdm.overlay.is_super_peer:
-            sp_result = yield from self.super_peer_lookup(type_name, forwarded=False)
+            with tracer.span("tier:super-peer", role="super-peer"):
+                sp_result = yield from self.super_peer_lookup(
+                    type_name, forwarded=False
+                )
         elif view.super_peer and view.super_peer != me:
-            sp_result = yield from self._safe_rpc(
-                view.super_peer, "sp_lookup",
-                {"type": type_name, "forwarded": False}, timeout=30.0,
-            )
+            with tracer.span("tier:super-peer", via=view.super_peer):
+                sp_result = yield from self._safe_rpc(
+                    view.super_peer, "sp_lookup",
+                    {"type": type_name, "forwarded": False}, timeout=30.0,
+                )
         if sp_result:
             gathered.append(sp_result)
             self._cache_results(sp_result)
@@ -216,20 +259,21 @@ class RequestManager:
 
         # nothing deployed anywhere: on-demand deployment
         if auto_deploy:
-            concrete = self._pick_installable(type_name, gathered)
-            if concrete is None:
-                discovered = yield from self.discover_type(type_name)
-                if discovered is not None:
-                    concrete = (
-                        self._pick_installable(type_name, gathered)
-                        or (discovered if discovered.installable else None)
+            with tracer.span("tier:on-demand", type=type_name):
+                concrete = self._pick_installable(type_name, gathered)
+                if concrete is None:
+                    discovered = yield from self.discover_type(type_name)
+                    if discovered is not None:
+                        concrete = (
+                            self._pick_installable(type_name, gathered)
+                            or (discovered if discovered.installable else None)
+                        )
+                if concrete is not None:
+                    wires = yield from self.rdm.deployment_manager.deploy_on_demand(
+                        concrete, exclude_sites=tuple(excluded)
                     )
-            if concrete is not None:
-                wires = yield from self.rdm.deployment_manager.deploy_on_demand(
-                    concrete, exclude_sites=tuple(excluded)
-                )
-                self.resolved_by_deployment += 1
-                return wires
+                    self.resolved_by_deployment += 1
+                    return wires
         if self.rdm.atr.find_type(type_name) is None:
             raise TypeNotFound(f"activity type {type_name!r} unknown in the VO")
         raise DeploymentNotFound(

@@ -202,9 +202,13 @@ class ActivityTypeRegistry(Service):
         activity_type = ActivityType.from_xml(xml)
         if not activity_type.provider:
             activity_type.provider = message.src
-        # validation + WS-Resource creation cost, scaled by document size
-        yield from self.compute(self.register_demand + len(xml) * 2e-7)
-        resource = self.add_local_type(activity_type)
+        with self.obs.tracer.span(
+            "registry:register_type", type=activity_type.name, site=self.node_name
+        ):
+            # validation + WS-Resource creation cost, scaled by document size
+            yield from self.compute(self.register_demand + len(xml) * 2e-7)
+            resource = self.add_local_type(activity_type)
+        self.obs.metrics.counter("registry.types_registered", site=self.node_name).inc()
         return {"registered": activity_type.name, "epr": epr_to_wire(resource.epr)}
 
     def op_lookup_type(self, message: Message) -> Generator:
@@ -212,6 +216,7 @@ class ActivityTypeRegistry(Service):
         name = message.payload
         yield from self.compute(self.lookup_demand)
         self.lookups += 1
+        self.obs.metrics.counter("registry.lookups", registry="atr").inc()
         local = self.home.lookup(name)
         if local is not None:
             return Response(
@@ -221,6 +226,7 @@ class ActivityTypeRegistry(Service):
         cached = self.cache.lookup(name)
         if cached is not None:
             self.cache_hits += 1
+            self.obs.metrics.counter("registry.cache_hits", registry="atr").inc()
             return Response(
                 value=type_to_wire(self.hierarchy.require(name),
                                    self.cache_sources[name]),
@@ -457,19 +463,26 @@ class ActivityDeploymentRegistry(Service):
         payload = message.payload
         xml = payload["xml"] if isinstance(payload, dict) else payload
         deployment = ActivityDeployment.from_xml(xml)
-        yield from self.compute(self.register_demand + len(xml) * 2e-7)
-        if self.atr.find_type(deployment.type_name) is None:
-            type_xml = payload.get("type_xml") if isinstance(payload, dict) else None
-            if not type_xml:
-                raise TypeMissingForDeployment(
-                    f"type {deployment.type_name!r} unknown on {self.node_name} "
-                    "and no type description supplied"
+        with self.obs.tracer.span(
+            "registry:register_deployment", key=deployment.key, site=self.node_name
+        ):
+            yield from self.compute(self.register_demand + len(xml) * 2e-7)
+            if self.atr.find_type(deployment.type_name) is None:
+                type_xml = payload.get("type_xml") if isinstance(payload, dict) else None
+                if not type_xml:
+                    raise TypeMissingForDeployment(
+                        f"type {deployment.type_name!r} unknown on {self.node_name} "
+                        "and no type description supplied"
+                    )
+                # dynamic registration through the local type registry
+                yield from self.call(
+                    self.node_name, ATR_SERVICE, "register_type",
+                    payload={"xml": type_xml},
                 )
-            # dynamic registration through the local type registry
-            yield from self.call(
-                self.node_name, ATR_SERVICE, "register_type", payload={"xml": type_xml}
-            )
-        resource = self.add_local_deployment(deployment)
+            resource = self.add_local_deployment(deployment)
+        self.obs.metrics.counter(
+            "registry.deployments_registered", site=self.node_name
+        ).inc()
         return {"registered": deployment.key, "epr": epr_to_wire(resource.epr)}
 
     def op_lookup_deployments(self, message: Message) -> Generator:
@@ -477,11 +490,13 @@ class ActivityDeploymentRegistry(Service):
         type_name = message.payload
         yield from self.compute(self.lookup_demand)
         self.lookups += 1
+        self.obs.metrics.counter("registry.lookups", registry="adr").inc()
         wires = []
         for deployment in self.all_deployments_for(type_name):
             source = self.cache_sources.get(deployment.key)
             if source is not None:
                 self.cache_hits += 1
+                self.obs.metrics.counter("registry.cache_hits", registry="adr").inc()
             epr = source or self._epr_for(deployment.key)
             wires.append(deployment_to_wire(deployment, epr))
         return Response(value=wires, size=sum(len(w["xml"]) for w in wires) or 128)

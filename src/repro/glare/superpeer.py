@@ -132,6 +132,15 @@ class OverlayManager:
         community_size = len(member_sites)
         if community_size == 0:
             return None
+        with self.rdm.obs.tracer.span(
+            "overlay:election", coordinator=self.me, community=community_size
+        ):
+            result = yield from self._run_election_inner(member_sites)
+        return result
+
+    def _run_election_inner(self, member_sites: List[str]) -> Generator:
+        """The election body itself (see :meth:`run_election`)."""
+        community_size = len(member_sites)
         # First notification: informational.
         for site in member_sites:
             try:

@@ -53,7 +53,10 @@ class GramService(Service):
         spec = message.payload
         if not isinstance(spec, JobSpec):
             raise TypeError(f"submit payload must be a JobSpec, got {type(spec).__name__}")
-        yield from self.compute(self.submission_overhead)
+        with self.obs.tracer.span(
+            "gram:submit", site=self.node_name, command=spec.command
+        ):
+            yield from self.compute(self.submission_overhead)
         job = Job(spec=spec, submitter=message.src, submitted_at=self.sim.now)
         self.jobs[job.job_id] = job
         self._done_events[job.job_id] = self.sim.event(name=f"job-{job.job_id}-done")
@@ -103,28 +106,39 @@ class GramService(Service):
         self._runners.pop(job.job_id, None)
 
     def _run_job(self, job: Job) -> Generator:
-        try:
-            job.state = JobState.ACTIVE
-            job.started_at = self.sim.now
-            work = self.sim.process(
-                self._burn(job.spec.cpu_demand), name=f"job-{job.job_id}-work"
-            )
-            if job.spec.walltime_limit is not None:
-                deadline = self.sim.timeout(job.spec.walltime_limit)
-                yield self.sim.any_of([work, deadline])
-                if not work.triggered:
-                    work.interrupt("walltime exceeded")
-                    work.defused = True
-                    self._finish(job, JobState.FAILED, 152, "walltime limit exceeded")
-                    return
-            else:
-                yield work
-            if job.spec.fail:
-                self._finish(job, JobState.FAILED, 1, "job reported failure")
-            else:
-                self._finish(job, JobState.DONE, 0)
-        except Interrupt:
-            self._finish(job, JobState.CANCELLED, 130, "cancelled")
+        obs = self.obs
+        with obs.tracer.span(
+            "gram:job", site=self.node_name, job_id=job.job_id,
+            command=job.spec.command,
+        ) as span:
+            try:
+                job.state = JobState.ACTIVE
+                job.started_at = self.sim.now
+                work = self.sim.process(
+                    self._burn(job.spec.cpu_demand), name=f"job-{job.job_id}-work"
+                )
+                if job.spec.walltime_limit is not None:
+                    deadline = self.sim.timeout(job.spec.walltime_limit)
+                    yield self.sim.any_of([work, deadline])
+                    if not work.triggered:
+                        work.interrupt("walltime exceeded")
+                        work.defused = True
+                        self._finish(job, JobState.FAILED, 152, "walltime limit exceeded")
+                        return
+                else:
+                    yield work
+                if job.spec.fail:
+                    self._finish(job, JobState.FAILED, 1, "job reported failure")
+                else:
+                    self._finish(job, JobState.DONE, 0)
+            except Interrupt:
+                self._finish(job, JobState.CANCELLED, 130, "cancelled")
+            finally:
+                span.set_attr("state", job.state.value)
+                if job.started_at is not None and job.finished_at is not None:
+                    obs.metrics.histogram("gram.job_duration", site=self.node_name).observe(
+                        job.finished_at - job.started_at
+                    )
 
     def _burn(self, demand: float) -> Generator:
         yield from self.node.cpu.execute(demand)

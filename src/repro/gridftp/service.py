@@ -153,6 +153,32 @@ class GridFtpService(Service):
         Verifies the md5 checksum when ``expected_md5`` is given, as
         deploy-files do (paper Fig. 9 carries ``md5sum`` attributes).
         """
+        obs = self.obs
+        if not obs.enabled:
+            entry = yield from self._fetch_inner(
+                src_site, src_path, dst_path, expected_md5
+            )
+            return entry
+        started = self.sim.now
+        with obs.tracer.span(
+            "gridftp:fetch", src=src_site, dst=self.node_name, path=src_path
+        ) as span:
+            entry = yield from self._fetch_inner(
+                src_site, src_path, dst_path, expected_md5
+            )
+            span.set_attr("bytes", entry.size)
+            obs.metrics.counter("gridftp.bytes", site=self.node_name).inc(entry.size)
+            obs.metrics.histogram("gridftp.transfer").observe(self.sim.now - started)
+        return entry
+
+    def _fetch_inner(
+        self,
+        src_site: str,
+        src_path: str,
+        dst_path: str,
+        expected_md5: str = "",
+    ) -> Generator:
+        """The untraced transfer body (see :meth:`fetch`)."""
         start = self.sim.now
         if self.failure_rate > 0 and (
             self.sim.rng.uniform(f"gridftp-fail:{self.node_name}", 0.0, 1.0)

@@ -128,6 +128,11 @@ class IndexService(Service):
     def resource_count(self) -> int:
         return len(self.aggregation)
 
+    @property
+    def busy_workers(self) -> int:
+        """Query worker threads currently occupied (pool gauge)."""
+        return self._worker_pool.count
+
     def op_register(self, message: Message) -> Generator:
         """Remote registration: payload {'xml': str, 'key': str, 'address': str}."""
         payload = message.payload
@@ -177,20 +182,30 @@ class IndexService(Service):
         """XPath query over the aggregate: payload is the expression string."""
         expression = message.payload
         query = XPathQuery.compile(expression)
-        worker = self._worker_pool.request()
-        yield worker
-        self._active_queries += 1
-        try:
-            results, visits = query.evaluate(self.aggregation.documents())
-            demand = self.fixed_cost + visits * self.per_visit_cost
-            multiplier = self._pressure_multiplier()
-            if multiplier > 1.0:
-                self.thrashed_queries += 1
-                demand *= multiplier
-            yield from self.compute(demand)
-        finally:
-            self._active_queries -= 1
-            self._worker_pool.release(worker)
+        obs = self.obs
+        with obs.tracer.span("mds:query", site=self.node_name) as span:
+            queued_at = self.sim.now
+            worker = self._worker_pool.request()
+            yield worker
+            queue_wait = self.sim.now - queued_at
+            span.set_attr("queue_wait", queue_wait)
+            obs.metrics.histogram("mds.queue_wait", site=self.node_name).observe(
+                queue_wait
+            )
+            self._active_queries += 1
+            try:
+                results, visits = query.evaluate(self.aggregation.documents())
+                demand = self.fixed_cost + visits * self.per_visit_cost
+                multiplier = self._pressure_multiplier()
+                if multiplier > 1.0:
+                    self.thrashed_queries += 1
+                    obs.metrics.counter("mds.thrashed_queries").inc()
+                    demand *= multiplier
+                span.set_attr("visits", visits)
+                yield from self.compute(demand)
+            finally:
+                self._active_queries -= 1
+                self._worker_pool.release(worker)
         self.queries_served += 1
         summaries = [_summarize(r) for r in results]
         return Response(value=summaries, size=max(256, 128 * len(summaries)))

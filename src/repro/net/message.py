@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
+
+from repro.obs.trace import TraceContext
 
 _MESSAGE_IDS = itertools.count(1)
 
@@ -37,6 +39,9 @@ class Message:
     size: int = 0
     secure: bool = False
     msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+    #: trace-context metadata (the simulated ``traceparent`` header);
+    #: set by the transport when tracing is enabled
+    trace_ctx: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -20,6 +20,8 @@ from typing import Any, Dict, Generator, Optional
 from repro.net.message import Message, Response, estimate_size
 from repro.net.topology import Topology
 from repro.net.transport import SecurityPolicy
+from repro.obs import Observability
+from repro.obs import disabled as _disabled_observability
 from repro.simkernel import CPU, Simulator
 from repro.simkernel.errors import OfflineError, SimulationError
 
@@ -54,6 +56,9 @@ class NodeRuntime:
         self.messages_out = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        #: RPCs currently being served on this node (observability
+        #: gauge; only maintained while observability is enabled)
+        self.inflight_rpcs = 0
 
     def service(self, name: str):
         """Look up a deployed service by name."""
@@ -90,6 +95,12 @@ class Network:
         path runs at bandwidth/(N+1)).  Off by default: the paper's
         experiments never saturate links, and the calibrated timings
         assume dedicated paths.
+    obs:
+        The VO's :class:`~repro.obs.Observability` bundle.  When
+        enabled, every RPC is wrapped in client/server spans, the
+        envelope carries trace-context metadata, and per-endpoint
+        latency histograms and call counters are recorded.  Defaults
+        to a disabled instance (one attribute check per call).
     """
 
     def __init__(
@@ -100,10 +111,13 @@ class Network:
         marshal_cpu_per_kb: float = 0.0002,
         connect_fail_delay: float = 1.0,
         contention: bool = False,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.security = security or SecurityPolicy.http()
+        self.obs = obs if obs is not None else _disabled_observability()
+        self.obs.bind(sim)
         self.marshal_cpu_per_kb = marshal_cpu_per_kb
         self.connect_fail_delay = connect_fail_delay
         self.contention = contention
@@ -188,12 +202,51 @@ class Network:
         :class:`ServiceNotFound` for unknown services, and re-raises
         application exceptions from the remote handler.
         """
+        obs = self.obs
+        if not obs.enabled:
+            value = yield from self._call_inner(
+                src, dst, service, method, payload, size, security
+            )
+            return value
+        endpoint = f"{service}.{method}"
+        started = self.sim.now
+        outcome = "ok"
+        with obs.tracer.span(f"rpc:{endpoint}", src=src, dst=dst) as span:
+            try:
+                value = yield from self._call_inner(
+                    src, dst, service, method, payload, size, security
+                )
+            except BaseException as error:
+                outcome = type(error).__name__
+                raise
+            finally:
+                span.set_attr("outcome", outcome)
+                obs.metrics.counter("rpc.calls", endpoint=endpoint).inc()
+                if outcome != "ok":
+                    obs.metrics.counter("rpc.errors", endpoint=endpoint).inc()
+                obs.metrics.histogram("rpc.latency", endpoint=endpoint).observe(
+                    self.sim.now - started
+                )
+        return value
+
+    def _call_inner(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        method: str,
+        payload: Any = None,
+        size: int = 0,
+        security: Optional[SecurityPolicy] = None,
+    ) -> Generator:
+        """The untraced RPC body (see :meth:`call`)."""
         policy = security if security is not None else self.security
         src_node = self.node(src)
         dst_node = self.node(dst)
         if not src_node.online:
             raise OfflineError(f"source node {src!r} is offline")
 
+        obs = self.obs
         message = Message(
             src=src,
             dst=dst,
@@ -203,6 +256,10 @@ class Network:
             size=size,
             secure=policy.enabled,
         )
+        if obs.enabled:
+            # inject the caller's span identity into the envelope (the
+            # simulated ``traceparent`` header)
+            message.trace_ctx = obs.tracer.current_context()
         latency, bandwidth = self.topology.path_metrics(src, dst)
         rtt = 2.0 * latency
 
@@ -240,7 +297,25 @@ class Network:
             yield from dst_node.cpu.execute(server_demand)
 
         handler = dst_node.service(service)
-        result = yield from handler.dispatch(method, message)
+        if obs.enabled:
+            # Handlers run inline in the caller's process, so the server
+            # span usually nests under the ``rpc:`` span automatically.
+            # When the dispatch happens in a process with no active span
+            # (e.g. a ``call_with_timeout`` runner started before the
+            # tracer existed) the envelope's trace context re-parents it.
+            parent = None
+            if obs.tracer.current_context() is None:
+                parent = message.trace_ctx
+            dst_node.inflight_rpcs += 1
+            try:
+                with obs.tracer.span(
+                    f"serve:{service}.{method}", parent=parent, site=dst
+                ):
+                    result = yield from handler.dispatch(method, message)
+            finally:
+                dst_node.inflight_rpcs -= 1
+        else:
+            result = yield from handler.dispatch(method, message)
         response = result if isinstance(result, Response) else Response(value=result)
 
         # crypto on the response body

@@ -54,6 +54,11 @@ class Service:
         """The runtime of the node this service is deployed on."""
         return self.network.node(self.node_name)
 
+    @property
+    def obs(self):
+        """The VO's observability bundle (a disabled one by default)."""
+        return self.network.obs
+
     def compute(self, demand: float) -> Generator:
         """Charge ``demand`` CPU-seconds to this service's host."""
         yield from self.node.cpu.execute(demand)

@@ -19,6 +19,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# Trace-context propagation: every RPC envelope can carry the caller's
+# span identity (the simulated analogue of a W3C ``traceparent``
+# header).  The transport injects it in :meth:`Network.call` and the
+# server side restores it when the handler runs in a different
+# simulation process than the caller.  Re-exported here because this
+# module *is* the transport-metadata layer.
+from repro.obs.trace import TraceContext
+
+__all__ = ["SecurityPolicy", "TraceContext"]
+
 
 @dataclass(frozen=True)
 class SecurityPolicy:

@@ -1,0 +1,94 @@
+"""Simulation-time observability: tracing, metrics, export.
+
+The paper evaluates GLARE entirely through observed behaviour —
+throughput curves (Figs 10–11), per-stage overhead breakdowns
+(Table 1), response-time tiers (Fig 12) and load averages (Fig 13) —
+so this package gives the reproduction the operator-grade lens those
+measurements imply:
+
+* :mod:`repro.obs.trace` — hierarchical spans with trace-context
+  propagation across RPC and process boundaries;
+* :mod:`repro.obs.metrics` — counters, log-scale latency histograms
+  (p50/p95/p99) and gauge time series sampled by a recorder process;
+* :mod:`repro.obs.export` — JSONL / Chrome trace-event export and
+  text rendering.
+
+One :class:`Observability` instance bundles the three for a VO.  The
+default is *disabled*: the null tracer and null instruments reduce
+every instrumentation point to one attribute check, so benchmarks are
+unaffected.  Enable with ``build_vo(observability=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.obs.metrics import (
+    HISTOGRAM_BOUNDS,
+    Counter,
+    Histogram,
+    MetricsRecorder,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.trace import NullTracer, Span, TraceContext, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.kernel import Simulator
+
+
+class Observability:
+    """Tracer + metrics registry + recorder configuration for one VO.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Disabled instances still accept site-probe
+        registrations (used by :func:`repro.stats.collect_metrics`)
+        but record no spans, counters or series.
+    sample_interval:
+        Gauge sampling period of the :class:`MetricsRecorder` process.
+    max_spans:
+        Optional retention bound on finished spans (ring buffer).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_interval: float = 5.0,
+        max_spans: Optional[int] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.sample_interval = sample_interval
+        self.tracer: Union[Tracer, NullTracer] = (
+            Tracer(max_spans=max_spans) if enabled else NullTracer()
+        )
+        self.metrics = MetricsRegistry(enabled=enabled)
+        #: set by :func:`repro.vo.build_vo` when enabled
+        self.recorder: Optional[MetricsRecorder] = None
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach tracer and registry to a simulator's clock."""
+        self.tracer.bind(sim)
+        self.metrics.bind(sim)
+
+
+def disabled() -> Observability:
+    """A fresh disabled instance (default for bare networks)."""
+    return Observability(enabled=False)
+
+
+__all__ = [
+    "Counter",
+    "HISTOGRAM_BOUNDS",
+    "Histogram",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "TimeSeries",
+    "TraceContext",
+    "Tracer",
+    "disabled",
+]

@@ -1,0 +1,148 @@
+"""Trace and metrics export: JSONL, Chrome trace-event, text renderers.
+
+Chrome export follows the Trace Event Format (the JSON consumed by
+``chrome://tracing`` and https://ui.perfetto.dev): one complete
+``"ph": "X"`` event per span, timestamps in microseconds, spans bucketed
+into one "process" per Grid site (with ``process_name`` metadata) and
+one "thread" per trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List
+
+from repro.experiments.report import format_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, walk_tree
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """JSON-friendly view of one finished span."""
+    return {
+        "trace": span.trace_id,
+        "span": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "attrs": dict(span.attrs),
+    }
+
+
+def export_jsonl(spans: Iterable[Span], stream: IO[str]) -> int:
+    """Write one JSON object per span; returns the number written."""
+    written = 0
+    for span in spans:
+        stream.write(json.dumps(span_to_dict(span), sort_keys=True) + "\n")
+        written += 1
+    return written
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Spans as Chrome trace-event dicts (complete events + metadata)."""
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    for span in spans:
+        site = str(span.attrs.get("site") or span.attrs.get("src") or "vo")
+        pid = pids.get(site)
+        if pid is None:
+            pid = pids[site] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": site},
+            })
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "pid": pid,
+            "tid": span.trace_id,
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "args": {k: v for k, v in span.attrs.items()
+                     if isinstance(v, (str, int, float, bool))},
+        })
+    return events
+
+
+def export_chrome(spans: Iterable[Span], stream: IO[str]) -> int:
+    """Write the Chrome ``traceEvents`` JSON document."""
+    events = chrome_trace_events(spans)
+    json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, stream)
+    return len(events)
+
+
+def format_trace_tree(spans: List[Span], title: str = "") -> str:
+    """ASCII rendering of one trace's span tree with timings."""
+    if not spans:
+        return "(no spans)"
+    lines = []
+    if title:
+        lines.append(title)
+    base = min(s.start for s in spans)
+    lines.append(f"{'t+ms':>10}  {'dur ms':>10}  span")
+    for depth, span in walk_tree(spans):
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(span.attrs.items())
+            if isinstance(v, (str, int, float, bool))
+        )
+        lines.append(
+            f"{(span.start - base) * 1e3:10.2f}  {span.duration * 1e3:10.2f}  "
+            f"{'  ' * depth}{span.name}" + (f"  [{attrs}]" if attrs else "")
+        )
+    return "\n".join(lines)
+
+
+def _labels_text(labels) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels) if labels else "-"
+
+
+def render_counters(registry: MetricsRegistry) -> str:
+    rows = [[c.name, _labels_text(c.labels), c.value]
+            for c in registry.counters()]
+    if not rows:
+        return "(no counters recorded)"
+    return format_table(["counter", "labels", "value"], rows,
+                        title="Counters")
+
+
+def render_histograms(registry: MetricsRegistry) -> str:
+    rows = []
+    for h in registry.histograms():
+        rows.append([
+            h.name, _labels_text(h.labels), h.count,
+            f"{h.mean * 1e3:.2f}", f"{h.p50 * 1e3:.2f}",
+            f"{h.p95 * 1e3:.2f}", f"{h.p99 * 1e3:.2f}",
+        ])
+    if not rows:
+        return "(no histograms recorded)"
+    return format_table(
+        ["histogram", "labels", "n", "mean ms", "p50 ms", "p95 ms", "p99 ms"],
+        rows, title="Latency histograms",
+    )
+
+
+def render_series(registry: MetricsRegistry) -> str:
+    rows = []
+    for series in registry.all_series():
+        low, mean, high = series.stats()
+        rows.append([
+            series.name, _labels_text(series.labels), len(series.samples),
+            f"{low:.2f}", f"{mean:.2f}", f"{high:.2f}", f"{series.last:.2f}",
+        ])
+    if not rows:
+        return "(no time series recorded)"
+    return format_table(
+        ["series", "labels", "samples", "min", "mean", "max", "last"],
+        rows, title="Time series (gauges)",
+    )
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Counters + histograms + gauge series as one text report."""
+    return "\n\n".join([
+        render_counters(registry),
+        render_histograms(registry),
+        render_series(registry),
+    ])

@@ -1,0 +1,98 @@
+"""Canned traced scenarios behind ``python -m repro trace/metrics``.
+
+Full paper experiments sweep hundreds of configurations; tracing one of
+those produces an unreadable wall of spans.  These scenarios instead
+run one *representative* workload each on a small observability-enabled
+VO, so the CLI can show a complete, comprehensible trace tree and
+metrics dump:
+
+* ``deploy``   — a client resolves an undeployed activity type,
+  triggering the full on-demand provisioning pipeline (Example 3 +
+  §2.2): tier walk, candidate selection, deploy-file transfer,
+  handler execution, registration, admin notification.
+* ``lookup``   — the same resolution twice: the first request installs,
+  the second is served from the site cache (the Fig. 12 contrast).
+* ``election`` — the two-phase super-peer election plus one resolution
+  over the formed overlay.
+
+Each scenario returns the finished :class:`~repro.vo.VirtualOrganization`
+with its tracer and metrics registry populated.
+
+This module imports :mod:`repro.vo` and must therefore only be loaded
+lazily (the CLI does); the rest of :mod:`repro.obs` stays a leaf
+package.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vo import VirtualOrganization
+
+
+def _build(n_sites: int = 4, seed: int = 7) -> "VirtualOrganization":
+    from repro.apps import publish_applications
+    from repro.vo import build_vo
+
+    vo = build_vo(n_sites=n_sites, seed=seed, monitors=False,
+                  observability=True, sample_interval=2.0)
+    publish_applications(vo, ["Wien2k"])
+    return vo
+
+
+def _register_wien2k(vo: "VirtualOrganization", site: str) -> None:
+    from repro.apps import get_application
+
+    spec = get_application("Wien2k")
+    vo.run_process(vo.client_call(site, "register_type",
+                                  payload={"xml": spec.type_xml}))
+
+
+def scenario_deploy() -> "VirtualOrganization":
+    """One resolution that ends in an on-demand installation."""
+    vo = _build()
+    vo.form_overlay()
+    _register_wien2k(vo, "agrid01")
+    vo.run_process(vo.client_call("agrid02", "get_deployments",
+                                  payload="Wien2k"))
+    return vo
+
+
+def scenario_lookup() -> "VirtualOrganization":
+    """Install once, then resolve again from the warm cache."""
+    vo = _build()
+    vo.form_overlay()
+    _register_wien2k(vo, "agrid01")
+    for _ in range(2):
+        vo.run_process(vo.client_call("agrid02", "get_deployments",
+                                      payload="Wien2k"))
+    return vo
+
+
+def scenario_election() -> "VirtualOrganization":
+    """Trace the super-peer election itself, then one resolution."""
+    vo = _build(n_sites=6)
+    _register_wien2k(vo, "agrid01")
+    vo.form_overlay()
+    vo.run_process(vo.client_call("agrid03", "get_deployments",
+                                  payload="Wien2k"))
+    return vo
+
+
+SCENARIOS: Dict[str, Callable[[], "VirtualOrganization"]] = {
+    "deploy": scenario_deploy,
+    "lookup": scenario_lookup,
+    "election": scenario_election,
+}
+
+
+def run_scenario(name: str) -> "VirtualOrganization":
+    """Run one named scenario; raises ``KeyError`` for unknown names."""
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    return runner()

@@ -9,7 +9,8 @@ plain Python generators wrapped by :class:`repro.simkernel.process.Process`.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
 from repro.simkernel.errors import SimulationError
 from repro.simkernel.events import NORMAL, AllOf, AnyOf, Event, Timeout
@@ -36,16 +37,31 @@ class Simulator:
     trace:
         When true, every dispatched event is appended to
         :attr:`trace_log` — handy in tests that assert on event order.
+    trace_limit:
+        Optional bound on :attr:`trace_log`.  When set, the log is a
+        ring buffer keeping only the most recent ``trace_limit``
+        entries, so long traced experiment runs cannot grow memory
+        without bound.  ``None`` (the default) keeps everything.
     """
 
-    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+    def __init__(self, seed: int = 0, trace: bool = False,
+                 trace_limit: Optional[int] = None) -> None:
+        if trace_limit is not None and trace_limit < 1:
+            raise ValueError("trace_limit must be a positive integer")
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self.rng = RngRegistry(seed)
         self.trace = trace
-        self.trace_log: List[Tuple[float, str]] = []
+        self.trace_limit = trace_limit
+        self.trace_log: Union[List[Tuple[float, str]], deque] = (
+            deque(maxlen=trace_limit) if trace_limit is not None else []
+        )
         self._active_process: Optional[Process] = None
+        #: optional hook called as ``spawn_observer(child, spawner)``
+        #: whenever :meth:`process` registers a new process; the tracer
+        #: uses it to inherit span context into spawned processes
+        self.spawn_observer: Optional[Callable[[Process, Optional[Process]], None]] = None
 
     # -- clock -----------------------------------------------------------
 
@@ -71,7 +87,10 @@ class Simulator:
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Register ``generator`` as a process and start it immediately."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        if self.spawn_observer is not None:
+            self.spawn_observer(proc, self._active_process)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Condition event firing when every event in ``events`` fires."""

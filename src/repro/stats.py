@@ -4,12 +4,28 @@ Aggregates the counters every subsystem already keeps (request
 resolution tiers, cache hits, installs, traffic, elections) into one
 structured snapshot — the observability layer an operator of the real
 system would have had, and a convenient assertion surface for tests.
+
+The per-site counters are sourced through the *site probes* of the VO's
+:class:`~repro.obs.MetricsRegistry` — callables registered by
+:func:`repro.vo.build_vo` that read each site's live counters on
+demand.  Probes work whether or not the hot-path observability
+instruments (spans, histograms) are enabled, so this module needs no
+``observability=True`` switch.
+
+Byte accounting: :attr:`VOMetrics.total_bytes` counts every message
+*leg* once on the wire (request and response are separate legs).  Each
+leg is charged to exactly one node's ``bytes_out``, so the wire total
+always equals the sum of per-node ``bytes_out`` — member sites plus the
+non-member origin host, reported separately as
+:attr:`VOMetrics.origin_bytes_out`.  The ``bytes_in`` sum matches too,
+except for legs addressed to offline nodes (counted on the wire and at
+the sender, never received).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List
 
 from repro.experiments.report import format_table
 
@@ -55,11 +71,30 @@ class VOMetrics:
     sites: Dict[str, SiteMetrics] = field(default_factory=dict)
     total_messages: int = 0
     total_bytes: int = 0
+    #: traffic of non-member nodes (the origin pseudo-site): needed to
+    #: reconcile per-node sums against the wire total
+    origin_bytes_in: int = 0
+    origin_bytes_out: int = 0
 
     # -- aggregates ---------------------------------------------------------
 
     def total(self, attribute: str) -> int:
         return sum(getattr(m, attribute) for m in self.sites.values())
+
+    @property
+    def site_bytes_in(self) -> int:
+        """Bytes received, summed over member sites only."""
+        return self.total("bytes_in")
+
+    @property
+    def site_bytes_out(self) -> int:
+        """Bytes sent, summed over member sites only."""
+        return self.total("bytes_out")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire, each message leg counted exactly once."""
+        return self.total_bytes
 
     def cache_hit_rate(self) -> float:
         """Fraction of registry lookups served from a cache."""
@@ -96,50 +131,84 @@ class VOMetrics:
         footer = (
             f"\nresolution: {breakdown} | cache hit rate "
             f"{self.cache_hit_rate():.1%} | wire: {self.total_messages} msgs, "
-            f"{self.total_bytes / 1e6:.1f} MB"
+            f"{self.wire_bytes / 1e6:.1f} MB | site in/out: "
+            f"{self.site_bytes_in / 1e6:.1f}/{self.site_bytes_out / 1e6:.1f} MB "
+            f"(origin {self.origin_bytes_in / 1e6:.1f}/"
+            f"{self.origin_bytes_out / 1e6:.1f} MB)"
         )
         return format_table(headers, rows,
                             title=f"VO metrics @ t={self.taken_at:.1f}s") + footer
 
 
-def collect_metrics(vo: "VirtualOrganization") -> VOMetrics:
-    """Harvest a metrics snapshot from every site in the VO."""
-    snapshot = VOMetrics(
-        taken_at=vo.sim.now,
-        total_messages=vo.network.total_messages,
-        total_bytes=vo.network.total_bytes,
-    )
-    for name in vo.site_names:
+def site_counter_probe(
+    vo: "VirtualOrganization", name: str
+) -> Callable[[], Dict[str, object]]:
+    """Build the probe callable that snapshots site ``name``'s counters.
+
+    The returned callable produces exactly the keyword set of
+    :class:`SiteMetrics` (minus ``site``); :func:`repro.vo.build_vo`
+    registers it with the VO's metrics registry.
+    """
+
+    def probe() -> Dict[str, object]:
         stack = vo.stack(name)
         rdm, atr, adr = stack.rdm, stack.atr, stack.adr
         assert rdm is not None and atr is not None and adr is not None
         runtime = vo.network.node(name)
         rm = rdm.request_manager
         dm = rdm.deployment_manager
-        snapshot.sites[name] = SiteMetrics(
-            site=name,
-            requests=rm.requests,
-            resolved_locally=rm.resolved_locally,
-            resolved_in_group=rm.resolved_in_group,
-            resolved_via_superpeer=rm.resolved_via_superpeer,
-            resolved_by_deployment=rm.resolved_by_deployment,
-            type_lookups=atr.lookups,
-            type_cache_hits=atr.cache_hits,
-            deployment_lookups=adr.lookups,
-            deployment_cache_hits=adr.cache_hits,
-            installs_succeeded=dm.stats.installs_succeeded,
-            installs_failed=dm.stats.installs_failed,
-            notifications_sent=dm.stats.notifications_sent,
-            jobs_submitted=stack.gram.jobs_submitted if stack.gram else 0,
-            bytes_in=runtime.bytes_in,
-            bytes_out=runtime.bytes_out,
-            messages_in=runtime.messages_in,
-            messages_out=runtime.messages_out,
-            local_types=len(atr.home),
-            cached_types=len(atr.cache),
-            local_deployments=len(adr.deployments),
-            cached_deployments=len(adr.cached_deployments),
-            is_super_peer=rdm.overlay.is_super_peer,
-            reelections=rdm.overlay.reelections,
-        )
+        return {
+            "requests": rm.requests,
+            "resolved_locally": rm.resolved_locally,
+            "resolved_in_group": rm.resolved_in_group,
+            "resolved_via_superpeer": rm.resolved_via_superpeer,
+            "resolved_by_deployment": rm.resolved_by_deployment,
+            "type_lookups": atr.lookups,
+            "type_cache_hits": atr.cache_hits,
+            "deployment_lookups": adr.lookups,
+            "deployment_cache_hits": adr.cache_hits,
+            "installs_succeeded": dm.stats.installs_succeeded,
+            "installs_failed": dm.stats.installs_failed,
+            "notifications_sent": dm.stats.notifications_sent,
+            "jobs_submitted": stack.gram.jobs_submitted if stack.gram else 0,
+            "bytes_in": runtime.bytes_in,
+            "bytes_out": runtime.bytes_out,
+            "messages_in": runtime.messages_in,
+            "messages_out": runtime.messages_out,
+            "local_types": len(atr.home),
+            "cached_types": len(atr.cache),
+            "local_deployments": len(adr.deployments),
+            "cached_deployments": len(adr.cached_deployments),
+            "is_super_peer": rdm.overlay.is_super_peer,
+            "reelections": rdm.overlay.reelections,
+        }
+
+    return probe
+
+
+def collect_metrics(vo: "VirtualOrganization") -> VOMetrics:
+    """Harvest a metrics snapshot from every site in the VO.
+
+    Per-site counters come from the metrics registry's site probes
+    (available even with observability disabled); wire totals come from
+    the network.
+    """
+    snapshot = VOMetrics(
+        taken_at=vo.sim.now,
+        total_messages=vo.network.total_messages,
+        total_bytes=vo.network.total_bytes,
+    )
+    registry = vo.obs.metrics
+    for name in vo.site_names:
+        try:
+            data = registry.collect_site(name)
+        except KeyError:
+            # VO assembled without build_vo: read the counters directly
+            data = site_counter_probe(vo, name)()
+        snapshot.sites[name] = SiteMetrics(site=name, **data)
+    members = set(vo.site_names)
+    for node_name, runtime in vo.network.nodes.items():
+        if node_name not in members:
+            snapshot.origin_bytes_in += runtime.bytes_in
+            snapshot.origin_bytes_out += runtime.bytes_out
     return snapshot

@@ -15,7 +15,7 @@ All examples, tests and benchmark drivers build on this module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Union
 
 from repro.glare.lifecycle import LifecycleController
 from repro.glare.rdm import GlareRDMService, RDM_SERVICE
@@ -27,6 +27,7 @@ from repro.mds.index import IndexService
 from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.net.transport import SecurityPolicy
+from repro.obs import MetricsRecorder, Observability
 from repro.simkernel import Simulator
 from repro.site.description import SiteDescription
 from repro.site.gridsite import GridSite
@@ -54,6 +55,12 @@ class VOConfig:
     lifecycle: bool = True
     site_prefix: str = "agrid"
     extra_site_attrs: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: tracing + metrics: ``False`` (default, zero-overhead null tracer),
+    #: ``True`` (fresh enabled bundle), or a pre-built
+    #: :class:`~repro.obs.Observability` instance
+    observability: Union[bool, Observability] = False
+    #: gauge sampling period of the metrics recorder (when enabled)
+    sample_interval: float = 5.0
 
 
 class SiteStack:
@@ -83,7 +90,16 @@ class VirtualOrganization:
         self.sim = Simulator(seed=config.seed)
         self.topology = Topology()
         security = SecurityPolicy.https() if config.security else SecurityPolicy.http()
-        self.network = Network(self.sim, self.topology, security=security)
+        if isinstance(config.observability, Observability):
+            self.obs = config.observability
+        else:
+            self.obs = Observability(
+                enabled=bool(config.observability),
+                sample_interval=config.sample_interval,
+            )
+        self.network = Network(
+            self.sim, self.topology, security=security, obs=self.obs
+        )
         self.url_catalog = UrlCatalog()
         self.stacks: Dict[str, SiteStack] = {}
         self.community_site: str = ""
@@ -263,5 +279,15 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
             stack.rdm.start(monitors=True)
         if stack.lifecycle is not None:
             stack.lifecycle.start()
+
+    # Observability: site probes feed repro.stats regardless of the
+    # enabled flag; the gauge recorder only runs when enabled.
+    from repro.stats import site_counter_probe
+
+    for name in names:
+        vo.obs.metrics.register_site_probe(name, site_counter_probe(vo, name))
+    if vo.obs.enabled:
+        vo.obs.recorder = MetricsRecorder(vo, interval=vo.obs.sample_interval)
+        vo.obs.recorder.start()
 
     return vo

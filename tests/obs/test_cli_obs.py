@@ -1,0 +1,40 @@
+"""CLI smoke tests for the trace/metrics subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.slow
+def test_trace_command_prints_trees_and_exports(tmp_path, capsys):
+    chrome = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    assert main(["trace", "deploy",
+                 "--chrome-out", str(chrome),
+                 "--jsonl-out", str(jsonl)]) == 0
+    out = capsys.readouterr().out
+    assert "rpc:glare-rdm.get_deployments" in out
+    assert "tier:on-demand" in out
+    assert "install:handler" in out
+
+    document = json.loads(chrome.read_text())
+    assert document["traceEvents"]
+    lines = jsonl.read_text().splitlines()
+    assert lines and all(json.loads(line)["name"] for line in lines)
+
+
+@pytest.mark.slow
+def test_metrics_command_prints_all_planes(capsys):
+    assert main(["metrics", "deploy"]) == 0
+    out = capsys.readouterr().out
+    assert "rpc.calls" in out          # counters
+    assert "rpc.latency" in out        # histograms
+    assert "site.load" in out          # gauge series
+    assert "VO metrics" in out         # stats snapshot table
+
+
+def test_trace_rejects_unknown_scenario(capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "nonsense"])

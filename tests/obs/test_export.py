@@ -1,0 +1,104 @@
+"""Tests for the JSONL/Chrome exporters and text renderers."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome,
+    export_jsonl,
+    format_trace_tree,
+    render_metrics,
+    span_to_dict,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.simkernel import Simulator
+
+
+@pytest.fixture()
+def sample_spans():
+    sim = Simulator()
+    tracer = Tracer()
+    tracer.bind(sim)
+
+    def work():
+        with tracer.span("rpc:svc.op", src="agrid01", dst="agrid02"):
+            yield sim.timeout(1)
+            with tracer.span("serve:svc.op", site="agrid02"):
+                yield sim.timeout(2)
+
+    sim.process(work())
+    sim.run()
+    return tracer.spans
+
+
+def test_span_to_dict_round_trips(sample_spans):
+    data = span_to_dict(sample_spans[0])
+    assert data["name"] == "serve:svc.op"
+    assert data["duration"] == pytest.approx(2.0)
+    json.dumps(data)  # must be JSON-serialisable
+
+
+def test_export_jsonl(sample_spans):
+    stream = io.StringIO()
+    assert export_jsonl(sample_spans, stream) == 2
+    lines = stream.getvalue().splitlines()
+    parsed = [json.loads(line) for line in lines]
+    assert {p["name"] for p in parsed} == {"rpc:svc.op", "serve:svc.op"}
+    assert all(p["trace"] == parsed[0]["trace"] for p in parsed)
+
+
+def test_chrome_events_structure(sample_spans):
+    events = chrome_trace_events(sample_spans)
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    # one process per site (serve span has site=agrid02, rpc falls back
+    # to src=agrid01), plus one complete event per span
+    assert {m["args"]["name"] for m in meta} == {"agrid01", "agrid02"}
+    assert len(complete) == 2
+    serve = next(e for e in complete if e["name"] == "serve:svc.op")
+    assert serve["ts"] == pytest.approx(1e6)  # started at t=1s, in us
+    assert serve["dur"] == pytest.approx(2e6)
+
+
+def test_export_chrome_writes_valid_json(sample_spans):
+    stream = io.StringIO()
+    count = export_chrome(sample_spans, stream)
+    document = json.loads(stream.getvalue())
+    assert len(document["traceEvents"]) == count
+    assert document["displayTimeUnit"] == "ms"
+
+
+def test_format_trace_tree_indents_children(sample_spans):
+    text = format_trace_tree(sample_spans, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    rpc_line = next(l for l in lines if "rpc:svc.op" in l)
+    serve_line = next(l for l in lines if "serve:svc.op" in l)
+    assert rpc_line.index("rpc:") < serve_line.index("serve:")
+    assert "[dst=agrid02 src=agrid01]" in rpc_line
+
+
+def test_format_trace_tree_empty():
+    assert format_trace_tree([]) == "(no spans)"
+
+
+def test_render_metrics_empty_registry():
+    text = render_metrics(MetricsRegistry())
+    assert "(no counters recorded)" in text
+    assert "(no histograms recorded)" in text
+    assert "(no time series recorded)" in text
+
+
+def test_render_metrics_populated():
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls", endpoint="a.b").inc(3)
+    registry.histogram("rpc.latency", endpoint="a.b").observe(0.25)
+    registry.sample("site.load", 1.5, site="agrid00")
+    text = render_metrics(registry)
+    assert "rpc.calls" in text and "endpoint=a.b" in text
+    assert "250.00" in text  # 0.25 s in ms
+    assert "site.load" in text

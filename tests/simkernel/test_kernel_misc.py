@@ -62,6 +62,29 @@ class TestRunSemantics:
         times = [t for t, _ in sim.trace_log]
         assert times == sorted(times)
 
+    def test_trace_limit_keeps_most_recent_entries(self):
+        sim = Simulator(trace=True, trace_limit=5)
+
+        def ticker():
+            for _ in range(20):
+                yield sim.timeout(1)
+
+        sim.process(ticker())
+        sim.run()
+        assert len(sim.trace_log) == 5
+        times = [t for t, _ in sim.trace_log]
+        assert times == sorted(times)
+        # the ring keeps the newest entries, so the last dispatch is there
+        assert times[-1] == sim.now
+
+    def test_trace_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Simulator(trace=True, trace_limit=0)
+
+    def test_unlimited_trace_log_is_plain_list(self):
+        sim = Simulator(trace=True)
+        assert isinstance(sim.trace_log, list)
+
     def test_stop_process_exception(self):
         sim = Simulator()
 

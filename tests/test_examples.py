@@ -21,6 +21,7 @@ ALL_EXAMPLES = [
     "leasing.py",
     "semantic_discovery.py",
     "agwl_workflow.py",
+    "tracing.py",
 ]
 
 

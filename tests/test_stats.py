@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps import get_application, publish_applications
-from repro.stats import collect_metrics
+from repro.stats import SiteMetrics, VOMetrics, collect_metrics
 from repro.vo import build_vo
 
 
@@ -64,3 +64,55 @@ def test_render_is_readable(active_vo):
 def test_cache_hit_rate_bounds(active_vo):
     rate = collect_metrics(active_vo).cache_hit_rate()
     assert 0.0 <= rate <= 1.0
+
+
+def test_bytes_reconcile(active_vo):
+    """Wire totals decompose exactly into per-node sums.
+
+    Each message leg is counted once on the wire and charged to exactly
+    one sender, so the wire byte total must equal the member-site
+    ``bytes_out`` sum plus the origin host's.  With every node online
+    (as here), the receive side reconciles identically.
+    """
+    metrics = collect_metrics(active_vo)
+    assert metrics.wire_bytes == metrics.total_bytes  # alias
+    assert metrics.wire_bytes == (
+        metrics.site_bytes_out + metrics.origin_bytes_out
+    )
+    assert metrics.wire_bytes == (
+        metrics.site_bytes_in + metrics.origin_bytes_in
+    )
+    # the deployment pipeline pulled archives from the origin host
+    assert metrics.origin_bytes_out > 0
+
+
+def test_render_reports_byte_split(active_vo):
+    text = collect_metrics(active_vo).render()
+    assert "wire:" in text
+    assert "site in/out:" in text
+    assert "origin" in text
+
+
+def test_cache_hit_rate_zero_lookups():
+    metrics = VOMetrics(taken_at=0.0)
+    metrics.sites["s1"] = SiteMetrics(site="s1")
+    assert metrics.cache_hit_rate() == 0.0
+
+
+def test_render_empty_vo():
+    """A snapshot with no sites still renders without dividing by zero."""
+    metrics = VOMetrics(taken_at=0.0)
+    text = metrics.render()
+    assert "VO metrics" in text
+    assert "cache hit rate 0.0%" in text
+    assert metrics.resolution_breakdown() == {
+        "local": 0, "group": 0, "super-peer": 0, "on-demand-deploy": 0,
+    }
+
+
+def test_collect_metrics_without_probes():
+    """collect_metrics falls back to direct reads for hand-built VOs."""
+    vo = build_vo(n_sites=2, seed=302, monitors=False)
+    vo.obs.metrics._site_probes.clear()  # simulate a bare assembly
+    metrics = collect_metrics(vo)
+    assert set(metrics.sites) == set(vo.site_names)
