@@ -1,0 +1,109 @@
+"""Wall-clock perf-regression harness (CLI, not a pytest benchmark).
+
+Runs the fixed-seed microbenchmarks of :mod:`repro.perf` — kernel
+event churn, RPC round-trips, and the two scaled Fig. 10 points — and
+emits a machine-readable ``BENCH_kernel.json``:
+
+* ``results`` — events/sec, RPCs/sec, lookups/sec, queries/sec plus
+  wall seconds and peak RSS;
+* ``determinism`` — the seeded kernel-trace fingerprint and the
+  simulated experiment outputs.  These must be **byte-identical**
+  across perf work; any drift means an optimization changed simulated
+  behaviour, which is a bug regardless of the speedup.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py                  # full run, print
+    python benchmarks/bench_wallclock.py --quick          # CI smoke sizes
+    python benchmarks/bench_wallclock.py -o BENCH_kernel.json
+    python benchmarks/bench_wallclock.py --quick --check-baseline BENCH_kernel.json
+
+``--check-baseline`` enforces the two gates against a committed
+baseline file: rate metrics must not regress by more than
+``--max-regression`` (default 25%), and the determinism fingerprints
+must match exactly.  Exit status 1 on any failure.
+
+Wall-clock rates vary across machines; the committed baseline is only
+a tripwire for large same-machine-family regressions, which is why the
+default tolerance is generous.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import perf  # noqa: E402  (path bootstrap above)
+
+
+def _print_summary(suite) -> None:
+    print(f"bench_wallclock ({suite['mode']}, best of {suite['repeats']})")
+    for name, result in suite["results"].items():
+        print(
+            f"  {name:10s} {result['value']:>12,.0f} {result['metric']:<16s}"
+            f" ({result['wall_seconds']:.3f}s wall)"
+        )
+    print(f"  peak RSS   {suite['peak_rss_kb']:>12,d} kB")
+    trace = suite["determinism"]["kernel_trace"]
+    print(f"  trace sha  {trace['sha256'][:16]}…  ({trace['events']} events)")
+
+
+def _check_determinism(suite, baseline) -> list:
+    failures = []
+    for section in ("kernel_trace", "experiment"):
+        current = suite["determinism"].get(section)
+        expected = baseline.get("determinism", {}).get(section)
+        if expected is None:
+            continue
+        for key, value in expected.items():
+            if current.get(key) != value:
+                failures.append(
+                    f"determinism drift in {section}.{key}: "
+                    f"{current.get(key)!r} != baseline {value!r}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke job)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="keep the best of N runs per benchmark (default 3)")
+    parser.add_argument("-o", "--output", metavar="PATH",
+                        help="write the suite result as JSON")
+    parser.add_argument("--check-baseline", metavar="PATH",
+                        help="fail on rate regression / determinism drift vs this file")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="tolerated fractional rate drop (default 0.25)")
+    args = parser.parse_args(argv)
+
+    suite = perf.run_suite(quick=args.quick, repeats=args.repeats)
+    _print_summary(suite)
+
+    if args.output:
+        perf.dump_suite(suite, args.output)
+        print(f"wrote {args.output}")
+
+    if args.check_baseline:
+        with open(args.check_baseline) as handle:
+            baseline = json.load(handle)
+        failures = perf.compare_to_baseline(
+            suite, baseline, max_regression=args.max_regression
+        )
+        failures += _check_determinism(suite, baseline)
+        if failures:
+            print("FAIL:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.check_baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -387,7 +387,7 @@ def register_base_hierarchy(vo: VirtualOrganization, site: str) -> Generator:
     """Register the abstract base types through ``site``'s local GLARE."""
     for at in base_hierarchy_types():
         yield from vo.client_call(
-            site, "register_type", payload={"xml": at.to_xml().to_string()}
+            site, "register_type", payload={"xml": at.wire_xml()}
         )
 
 

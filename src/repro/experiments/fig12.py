@@ -71,7 +71,7 @@ def _populate(vo, registry_sites: List[str], total_deployments: int) -> None:
             counter += 1
             vo.run_process(vo.client_call(
                 site, "register_deployment",
-                payload={"xml": deployment.to_xml().to_string()},
+                payload={"xml": deployment.wire_xml()},
             ))
 
 

@@ -11,6 +11,22 @@ Types are arranged in an abstract/concrete hierarchy (see
 enabling on-demand deployment (paper Fig. 9).  Both types and
 deployments serialize to/from XML resource-property documents, because
 each occurrence in a registry is a WS-Resource.
+
+Wire-form caching
+-----------------
+Registry lookups serialize the *same* type/deployment document on
+every hit, and serialization dominated their wall-clock cost.  Both
+model classes therefore cache their serialized XML string (and its
+byte size) after the first :meth:`wire_xml` call.  The invalidation
+rule: **any code that mutates a field appearing in** ``to_xml()``
+**must call** :meth:`invalidate_wire_cache` afterwards.  In this
+codebase the only post-registration mutation site is the deployment
+status monitor's update path
+(:meth:`repro.glare.registry.ActivityDeploymentRegistry.op_update_status`).
+Fields not serialized (``registered_at``, ``last_update_time``) may
+change freely.  The cached string is exactly ``to_xml().to_string()``,
+so every simulated message size computed from it is byte-identical to
+the uncached value.
 """
 
 from __future__ import annotations
@@ -21,6 +37,26 @@ from typing import Dict, List, Optional
 
 from repro.glare.errors import InvalidTypeDescription
 from repro.wsrf.xmldoc import Element, parse_xml
+
+
+class _WireCached:
+    """Mixin: lazily cached serialized form of a ``to_xml()`` document."""
+
+    def wire_xml(self) -> str:
+        """The serialized property document (cached after first use)."""
+        cached = self.__dict__.get("_wire_form")
+        if cached is None:
+            cached = self.to_xml().to_string()
+            self.__dict__["_wire_form"] = cached
+        return cached
+
+    def wire_size(self) -> int:
+        """Byte size of :meth:`wire_xml` (``len`` of the cached string)."""
+        return len(self.wire_xml())
+
+    def invalidate_wire_cache(self) -> None:
+        """Drop the cached wire form after mutating a serialized field."""
+        self.__dict__.pop("_wire_form", None)
 
 
 class TypeKind(enum.Enum):
@@ -120,7 +156,7 @@ class InstallationSpec:
 
 
 @dataclass
-class ActivityType:
+class ActivityType(_WireCached):
     """A named node in the activity-type hierarchy.
 
     ``base_types`` are the types this one extends (``JPOVray`` extends
@@ -252,7 +288,7 @@ class ActivityType:
 
 
 @dataclass
-class ActivityDeployment:
+class ActivityDeployment(_WireCached):
     """One installed occurrence of a concrete type on some site.
 
     For executables: ``path`` and ``home`` on the site filesystem

@@ -242,7 +242,7 @@ class DeploymentManager:
         with tracer.span("deploy:install", target=target, type=activity_type.name):
             result = yield from self.rdm.rpc(
                 target, "deploy",
-                {"type_xml": activity_type.to_xml().to_string(),
+                {"type_xml": activity_type.wire_xml(),
                  "requester": self.rdm.node_name,
                  "handler": self.handler_kind},
                 timeout=600.0,
@@ -315,7 +315,7 @@ class DeploymentManager:
         if self.rdm.atr.find_type(activity_type.name) is None:
             yield from self.rdm.network.call(
                 site.name, site.name, self.rdm.atr.name, "register_type",
-                payload={"xml": activity_type.to_xml().to_string()},
+                payload={"xml": activity_type.wire_xml()},
             )
 
         # 3. run the handler
@@ -353,7 +353,7 @@ class DeploymentManager:
         ):
             for deployment in deployments:
                 yield from self.rdm.rpc_local_adr_register(
-                    deployment, type_xml=activity_type.to_xml().to_string()
+                    deployment, type_xml=activity_type.wire_xml()
                 )
                 epr = self.rdm.adr.home.lookup(deployment.key).epr
                 wires.append(deployment_to_wire(deployment, epr))

@@ -471,7 +471,7 @@ class GlareRDMService(Service):
         """Register a deployment in this site's own ADR (loopback RPC)."""
         result = yield from self.network.call(
             self.node_name, self.node_name, ADR_SERVICE, "register_deployment",
-            payload={"xml": deployment.to_xml().to_string(), "type_xml": type_xml},
+            payload={"xml": deployment.wire_xml(), "type_xml": type_xml},
         )
         return result
 
@@ -550,7 +550,7 @@ class GlareRDMService(Service):
                 deploy_file_url="http://example.org/deployfiles/my.build",
             ),
         )
-        return Response(value=template.to_xml().to_string())
+        return Response(value=template.wire_xml())
 
     def op_register_type(self, message: Message) -> Generator:
         """Example 2: register an activity type with the *local* service."""

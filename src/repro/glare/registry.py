@@ -36,9 +36,9 @@ ADR_SERVICE = "activity-deployment-registry"
 
 
 def type_to_wire(activity_type: ActivityType, epr: EndpointReference) -> Dict[str, object]:
-    """Serialize a type + its EPR for transport."""
+    """Serialize a type + its EPR for transport (cached wire form)."""
     return {
-        "xml": activity_type.to_xml().to_string(),
+        "xml": activity_type.wire_xml(),
         "epr": epr_to_wire(epr),
     }
 
@@ -65,7 +65,7 @@ def deployment_to_wire(
     deployment: ActivityDeployment, epr: EndpointReference
 ) -> Dict[str, object]:
     return {
-        "xml": deployment.to_xml().to_string(),
+        "xml": deployment.wire_xml(),
         "epr": epr_to_wire(epr),
     }
 
@@ -219,18 +219,21 @@ class ActivityTypeRegistry(Service):
         self.obs.metrics.counter("registry.lookups", registry="atr").inc()
         local = self.home.lookup(name)
         if local is not None:
+            # wire_size() is len() of the same serialized document the
+            # resource properties hold, so the charged size is unchanged
+            at = self.hierarchy.require(name)
             return Response(
-                value=type_to_wire(self.hierarchy.require(name), local.epr),
-                size=len(local.properties.to_string()),
+                value=type_to_wire(at, local.epr),
+                size=at.wire_size(),
             )
         cached = self.cache.lookup(name)
         if cached is not None:
             self.cache_hits += 1
             self.obs.metrics.counter("registry.cache_hits", registry="atr").inc()
+            at = self.hierarchy.require(name)
             return Response(
-                value=type_to_wire(self.hierarchy.require(name),
-                                   self.cache_sources[name]),
-                size=len(cached.properties.to_string()),
+                value=type_to_wire(at, self.cache_sources[name]),
+                size=at.wire_size(),
             )
         return Response(value=None)
 
@@ -523,6 +526,9 @@ class ActivityDeploymentRegistry(Service):
         for metric in ("last_execution_time", "last_invocation_time", "last_return_code"):
             if metric in payload:
                 setattr(deployment, metric, payload[metric])
+        # status/metrics appear in the serialized document: drop the
+        # cached wire form (the only post-registration mutation site)
+        deployment.invalidate_wire_cache()
         self.touch(key)
         resource = self.home.lookup(key)
         assert resource is not None

@@ -105,6 +105,9 @@ class IndexService(Service):
         self._worker_pool = Resource(self.sim, capacity=workers)
         self._active_queries = 0
         self._total_nodes = 0
+        #: per-entry node counts so registrations adjust the total
+        #: incrementally instead of recounting the whole aggregate
+        self._node_counts: Dict[str, int] = {}
         self.queries_served = 0
         self.thrashed_queries = 0
         self._keepalive_proc = None
@@ -113,16 +116,26 @@ class IndexService(Service):
 
     def register_document(self, epr: EndpointReference, doc: Element) -> None:
         """Local-side registration of a resource document."""
+        key = self.aggregation.entry_key(epr)
         self.aggregation.add(epr, doc)
-        self._recount()
+        count = doc.count_nodes()
+        self._total_nodes += count - self._node_counts.get(key, 0)
+        self._node_counts[key] = count
 
     def unregister_document(self, epr: EndpointReference) -> bool:
+        key = self.aggregation.entry_key(epr)
         removed = self.aggregation.remove(epr)
-        self._recount()
+        if removed:
+            self._total_nodes -= self._node_counts.pop(key, 0)
         return removed
 
     def _recount(self) -> None:
-        self._total_nodes = sum(d.count_nodes() for d in self.aggregation.documents())
+        """Full recount (consistency fallback; hot paths go incremental)."""
+        self._node_counts = {
+            key: entry.content.count_nodes()
+            for key, entry in self.aggregation._entries.items()
+        }
+        self._total_nodes = sum(self._node_counts.values())
 
     @property
     def resource_count(self) -> int:

@@ -1,0 +1,372 @@
+"""Wall-clock performance harness for the simulation fast path.
+
+The paper's whole evaluation (Figs. 10-13, Table 1) rides on the DES
+inner loop, so wall-clock speed of the kernel bounds how large a VO we
+can simulate.  This module provides fixed-seed microbenchmarks plus
+determinism fingerprints so performance work can be measured *and*
+proven not to change any simulated-time result:
+
+* :func:`bench_kernel_events` — pure kernel event churn (processes
+  yielding timeouts), reported as dispatched events per wall second;
+* :func:`bench_rpc_roundtrips` — the full RPC marshalling/transport
+  path against an echo service, reported as RPCs per wall second;
+* :func:`bench_registry_lookups` — a scaled-down Fig. 10 registry
+  point (named lookups, the hash-table fast path);
+* :func:`bench_index_queries` — a scaled-down Fig. 10 index point
+  (XPath over the aggregated documents);
+* :func:`kernel_trace_fingerprint` / :func:`experiment_fingerprint` —
+  deterministic digests of the seeded event trace and of end-to-end
+  simulated outputs (byte totals, throughputs).  Two runs of the same
+  seed must produce identical fingerprints; the committed golden
+  values in ``tests/`` pin them across refactors.
+
+``benchmarks/bench_wallclock.py`` drives these and emits
+``BENCH_kernel.json``.  Everything here uses only public simulator
+APIs so the harness itself is independent of kernel internals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import resource as _resource
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.net.network import Network
+from repro.net.service import EchoService
+from repro.net.topology import Topology
+from repro.simkernel import Simulator
+from repro.simkernel.primitives import Resource, Store
+
+#: strips CPython object addresses out of event reprs so traces can be
+#: compared across processes (and across the timeout free list)
+_ADDR_RE = re.compile(r"0x[0-9a-f]+")
+
+
+@dataclass
+class BenchResult:
+    """One microbenchmark measurement."""
+
+    name: str
+    metric: str  # e.g. "events_per_sec"
+    value: float  # the headline rate
+    wall_seconds: float
+    work_units: int  # events / RPCs / requests completed
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes."""
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+# -- kernel microbenchmark -------------------------------------------------
+
+
+def bench_kernel_events(
+    n_procs: int = 64, events_per_proc: int = 4000, seed: int = 11
+) -> BenchResult:
+    """Pure event churn: ``n_procs`` processes yielding timeouts.
+
+    The delays differ per process so the agenda stays genuinely
+    interleaved (no degenerate single-timestamp batching).
+    """
+    sim = Simulator(seed=seed)
+
+    def ticker(index: int) -> Generator:
+        delay = 0.001 + (index % 7) * 0.0005
+        timeout = sim.timeout
+        for _ in range(events_per_proc):
+            yield timeout(delay)
+
+    for index in range(n_procs):
+        sim.process(ticker(index), name=f"ticker-{index}")
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    # per process: one init event, one timeout per tick, one
+    # termination event for the Process itself
+    events = n_procs * (events_per_proc + 2)
+    return BenchResult(
+        name="kernel",
+        metric="events_per_sec",
+        value=events / wall,
+        wall_seconds=wall,
+        work_units=events,
+        details={"n_procs": n_procs, "events_per_proc": events_per_proc,
+                 "final_time": sim.now},
+    )
+
+
+# -- RPC microbenchmark ----------------------------------------------------
+
+
+def bench_rpc_roundtrips(
+    clients: int = 8, horizon: float = 40.0, seed: int = 11
+) -> BenchResult:
+    """Closed-loop echo RPCs: the full marshalling + transport path."""
+    sim = Simulator(seed=seed)
+    client_sites = [f"c{i}" for i in range(4)]
+    topo = Topology.star("server", client_sites, latency=0.004, bandwidth=12.5e6)
+    net = Network(sim, topo)
+    net.add_node("server", cores=2)
+    for site in client_sites:
+        net.add_node(site, cores=2)
+    EchoService(net, "server", demand=0.0005)
+
+    completed = [0]
+
+    def client(index: int) -> Generator:
+        site = client_sites[index % len(client_sites)]
+        payload = f"ping-{index:03d}"
+        while True:
+            yield from net.call(site, "server", "echo", "echo", payload=payload)
+            completed[0] += 1
+
+    for index in range(clients):
+        sim.process(client(index), name=f"rpc-client-{index}")
+    start = time.perf_counter()
+    sim.run(until=horizon)
+    wall = time.perf_counter() - start
+    return BenchResult(
+        name="rpc",
+        metric="rpcs_per_sec",
+        value=completed[0] / wall,
+        wall_seconds=wall,
+        work_units=completed[0],
+        details={"clients": clients, "sim_horizon": horizon,
+                 "sim_throughput": completed[0] / horizon,
+                 "wire_bytes": net.total_bytes},
+    )
+
+
+# -- scaled Fig. 10 scenario ----------------------------------------------
+
+
+def bench_registry_lookups(
+    clients: int = 8, n_types: int = 30, seed: int = 3
+) -> BenchResult:
+    """Scaled-down Fig. 10 registry point (named hash-table lookups)."""
+    from repro.experiments.fig10 import run_fig10_point
+
+    start = time.perf_counter()
+    point = run_fig10_point("registry", False, clients, n_types=n_types, seed=seed)
+    wall = time.perf_counter() - start
+    # simulated requests completed over the 30 s horizon
+    requests = int(round(point.throughput * 25.0))
+    return BenchResult(
+        name="fig10_registry",
+        metric="sim_requests_per_wall_sec",
+        value=requests / wall,
+        wall_seconds=wall,
+        work_units=requests,
+        details={"sim_throughput_rps": point.throughput,
+                 "mean_response_ms": point.mean_response_ms},
+    )
+
+
+def bench_index_queries(
+    clients: int = 8, n_types: int = 30, seed: int = 3
+) -> BenchResult:
+    """Scaled-down Fig. 10 index point (XPath over the aggregation)."""
+    from repro.experiments.fig10 import run_fig10_point
+
+    start = time.perf_counter()
+    point = run_fig10_point("index", False, clients, n_types=n_types, seed=seed)
+    wall = time.perf_counter() - start
+    requests = int(round(point.throughput * 25.0))
+    return BenchResult(
+        name="fig10_index",
+        metric="sim_requests_per_wall_sec",
+        value=requests / wall,
+        wall_seconds=wall,
+        work_units=requests,
+        details={"sim_throughput_rps": point.throughput,
+                 "mean_response_ms": point.mean_response_ms},
+    )
+
+
+# -- determinism fingerprints ----------------------------------------------
+
+
+def _mixed_kernel_scenario(seed: int) -> Simulator:
+    """A small scenario exercising every kernel feature with trace on.
+
+    Timeouts, stores, resources, conditions, interrupts and process
+    failure recovery all appear, so the trace fingerprint is sensitive
+    to any change in event ordering anywhere in the kernel.
+    """
+    sim = Simulator(seed=seed, trace=True)
+    store: Store = Store(sim, capacity=4)
+    pool = Resource(sim, capacity=2)
+
+    def producer(index: int) -> Generator:
+        for item in range(20):
+            yield store.put((index, item))
+            yield sim.timeout(0.5 + 0.1 * index)
+
+    def consumer() -> Generator:
+        for _ in range(40):
+            got = yield store.get()
+            with (yield pool.request()):
+                yield sim.timeout(0.25 + 0.01 * got[1])
+
+    def racer() -> Generator:
+        for round_no in range(10):
+            fast = sim.timeout(0.3, value="fast")
+            slow = sim.timeout(0.9, value="slow")
+            yield sim.any_of([fast, slow])
+            yield sim.all_of([slow])
+            yield sim.timeout(0.1 * round_no)
+
+    def victim() -> Generator:
+        while True:
+            try:
+                yield sim.timeout(100.0)
+            except Exception:
+                yield sim.timeout(1.0)
+                return "recovered"
+
+    target = sim.process(victim(), name="victim")
+
+    def attacker() -> Generator:
+        yield sim.timeout(7.0)
+        target.interrupt("now")
+
+    sim.process(producer(0), name="producer-0")
+    sim.process(producer(1), name="producer-1")
+    sim.process(consumer(), name="consumer")
+    sim.process(racer(), name="racer")
+    sim.process(attacker(), name="attacker")
+    sim.run()
+    return sim
+
+
+def kernel_trace_fingerprint(seed: int = 5) -> Dict[str, Any]:
+    """Digest of the seeded kernel event trace (address-normalized)."""
+    sim = _mixed_kernel_scenario(seed)
+    normalized = "\n".join(
+        f"{when:.9f} {_ADDR_RE.sub('0x0', label)}" for when, label in sim.trace_log
+    )
+    return {
+        "seed": seed,
+        "events": len(sim.trace_log),
+        "final_time": repr(sim.now),
+        "sha256": hashlib.sha256(normalized.encode()).hexdigest(),
+    }
+
+
+def experiment_fingerprint(seed: int = 3) -> Dict[str, Any]:
+    """End-to-end simulated outputs that must survive any perf work.
+
+    Combines a Fig. 10 registry point (throughput + response time — a
+    function of every CPU charge and message size on the lookup path),
+    a Fig. 10 index point (exercising the XPath engine, whose
+    node-visit counts drive the MDS cost model), and the byte/message
+    totals of a full provisioning scenario (the ``lookup``
+    observability scenario: resolution, on-demand install, warm-cache
+    hit).
+    """
+    from repro.experiments.fig10 import run_fig10_point
+    from repro.obs.scenarios import run_scenario
+    from repro.stats import collect_metrics
+
+    point = run_fig10_point("registry", False, 4, n_types=12, seed=seed)
+    index_point = run_fig10_point("index", False, 4, n_types=12, seed=seed)
+    vo = run_scenario("lookup")
+    metrics = collect_metrics(vo)
+    return {
+        "fig10_throughput": repr(point.throughput),
+        "fig10_mean_response_ms": repr(point.mean_response_ms),
+        "fig10_index_throughput": repr(index_point.throughput),
+        "fig10_index_mean_response_ms": repr(index_point.mean_response_ms),
+        "scenario_messages": metrics.total_messages,
+        "scenario_wire_bytes": metrics.wire_bytes,
+        "scenario_site_bytes_out": metrics.site_bytes_out,
+        "scenario_taken_at": repr(metrics.taken_at),
+    }
+
+
+# -- suite runner ----------------------------------------------------------
+
+QUICK_PARAMS = {
+    "kernel": {"n_procs": 32, "events_per_proc": 1500},
+    "rpc": {"clients": 4, "horizon": 15.0},
+    "fig10": {"clients": 4, "n_types": 20},
+}
+
+FULL_PARAMS = {
+    "kernel": {"n_procs": 64, "events_per_proc": 4000},
+    "rpc": {"clients": 8, "horizon": 40.0},
+    "fig10": {"clients": 8, "n_types": 30},
+}
+
+
+def run_suite(quick: bool = False, repeats: int = 1) -> Dict[str, Any]:
+    """Run every benchmark; keep the best (lowest-wall) of ``repeats``."""
+    params = QUICK_PARAMS if quick else FULL_PARAMS
+
+    def best(factory) -> BenchResult:
+        results = [factory() for _ in range(max(1, repeats))]
+        return min(results, key=lambda r: r.wall_seconds)
+
+    results = [
+        best(lambda: bench_kernel_events(**params["kernel"])),
+        best(lambda: bench_rpc_roundtrips(**params["rpc"])),
+        best(lambda: bench_registry_lookups(**params["fig10"])),
+        best(lambda: bench_index_queries(**params["fig10"])),
+    ]
+    suite = {
+        "suite": "bench_wallclock",
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "results": {r.name: r.to_dict() for r in results},
+        "determinism": {
+            "kernel_trace": kernel_trace_fingerprint(),
+            "experiment": experiment_fingerprint(),
+        },
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    return suite
+
+
+def dump_suite(suite: Dict[str, Any], path: str) -> None:
+    """Write a suite result as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(suite, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare_to_baseline(
+    suite: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Regression check: events/sec and RPCs/sec vs a committed baseline.
+
+    Returns a list of human-readable failures (empty when within
+    tolerance).  Only rate metrics are gated — absolute wall seconds
+    vary across machines, but a >``max_regression`` drop in a rate on
+    the *same* machine family signals a real fast-path regression.
+    """
+    failures: List[str] = []
+    for name in ("kernel", "rpc"):
+        current = suite["results"].get(name)
+        base = baseline.get("results", {}).get(name)
+        if not current or not base:
+            continue
+        if base["value"] <= 0:
+            continue
+        ratio = current["value"] / base["value"]
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{name}: {current['value']:.0f} {current['metric']} is "
+                f"{(1.0 - ratio) * 100:.1f}% below baseline {base['value']:.0f}"
+            )
+    return failures

@@ -15,13 +15,32 @@ Composite conditions (:class:`AllOf`, :class:`AnyOf`) fire when their
 child events do, mirroring the semantics of SimPy conditions but with a
 much smaller surface: the condition's value is a dict mapping child
 events to their values.
+
+Hot-path notes
+--------------
+:class:`Timeout` is by far the most-allocated object in any experiment
+(every ``yield sim.timeout(...)`` and every transmission leg creates
+one), so its constructor writes slots directly and schedules inline
+instead of delegating through ``Event.__init__``/``Simulator._schedule``,
+and its display name is a lazy property — the old eager
+``f"timeout({delay})"`` string build showed up as several percent of
+total runtime.  Recycling of processed timeouts lives in
+:class:`~repro.simkernel.kernel.Simulator` (see its free-list notes).
+
+Waiter removal uses *lazy cancellation*: :meth:`Event.unsubscribe`
+tombstones the callback slot with ``None`` instead of ``list.remove``'s
+O(n) shift, and dispatch skips tombstones.  One ``unsubscribe`` cancels
+exactly one registration (the earliest matching one); a callback
+subscribed twice must be unsubscribed twice, which was already the
+observable behaviour of the old ``remove``-based code.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
-from repro.simkernel.errors import EventAlreadyFired
+from repro.simkernel.errors import EventAlreadyFired, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simkernel.kernel import Simulator
@@ -48,7 +67,7 @@ class Event:
     def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
         self.sim = sim
         self.name = name
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Optional[Callable[["Event"], None]]]] = []
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._processed = False
@@ -88,9 +107,13 @@ class Event:
         """Mark the event successful and schedule its callbacks."""
         if self._ok is not None:
             raise EventAlreadyFired(f"{self!r} already triggered")
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay=delay)
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -99,13 +122,21 @@ class Event:
             raise EventAlreadyFired(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay=delay)
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
         return self
 
     def trigger(self, other: "Event") -> None:
         """Copy the outcome of ``other`` onto this event (chain helper)."""
+        if other._ok is None:
+            raise SimulationError(
+                f"cannot trigger {self!r} from untriggered event {other!r}"
+            )
         if other._ok:
             self.succeed(other._value)
         else:
@@ -116,9 +147,12 @@ class Event:
     def _dispatch(self) -> None:
         """Run callbacks.  Called exactly once by the simulator."""
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, None
-        for callback in callbacks or ():
-            callback(self)
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                if callback is not None:  # skip lazily-cancelled waiters
+                    callback(self)
         if self._ok is False and not self.defused:
             # A failure nobody waited for: crash loudly rather than
             # silently losing the error.
@@ -131,9 +165,21 @@ class Event:
         self.callbacks.append(callback)
 
     def unsubscribe(self, callback: Callable[["Event"], None]) -> None:
-        """Remove a previously registered callback (no-op if absent)."""
-        if self.callbacks is not None and callback in self.callbacks:
-            self.callbacks.remove(callback)
+        """Lazily cancel one registration of ``callback`` (no-op if absent).
+
+        The matching slot is tombstoned with ``None`` and skipped at
+        dispatch, so cancellation never shifts the waiter list (the old
+        ``list.remove`` was O(n) per cancel).  Exactly one registration
+        is cancelled per call — a callback subscribed twice keeps its
+        second registration until unsubscribed again.
+        """
+        callbacks = self.callbacks
+        if callbacks is None:
+            return
+        try:
+            callbacks[callbacks.index(callback)] = None
+        except ValueError:
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = f" {self.name!r}" if self.name else ""
@@ -144,18 +190,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Construction is the kernel's hottest allocation site, so slots are
+    written directly (no ``Event.__init__``/``_schedule`` delegation)
+    and the display name is derived lazily from :attr:`delay`.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay=delay)
+        self._ok = True
+        self._processed = False
+        self.defused = False
+        self.delay = delay
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
+
+    @property
+    def name(self) -> str:  # shadows the Event slot: computed on demand
+        return f"timeout({self.delay})"
 
 
 class _Condition(Event):

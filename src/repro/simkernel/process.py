@@ -5,6 +5,16 @@ A :class:`Process` wraps a Python generator.  The generator yields
 dispatched, the process resumes with the event's value (or the event's
 exception is thrown into it).  A process is itself an event that fires
 when the generator returns, so processes can wait on each other.
+
+Hot-path notes
+--------------
+:meth:`Process._resume` is the single most-executed function in any
+experiment: it runs once per dispatched event a process waits on.  It
+therefore (a) caches its own bound-method reference (``_resume_cb``) so
+subscribing does not allocate a fresh bound method per wait, (b) takes
+a dedicated branch for the dominant ``yield sim.timeout(...)`` case
+that appends to the waiter list directly, and (c) reads the kernel's
+``_ok``/``_processed`` slots instead of going through properties.
 """
 
 from __future__ import annotations
@@ -12,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.simkernel.errors import Interrupt, SimulationError, StopProcess
-from repro.simkernel.events import URGENT, Event
+from repro.simkernel.events import URGENT, Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simkernel.kernel import Simulator
@@ -24,17 +34,20 @@ class _Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process") -> None:
-        super().__init__(sim, name=f"init({process.name})")
-        self._ok = True
+        self.sim = sim
+        self.name = f"init({process.name})"
+        self.callbacks = [process._resume_cb]
         self._value = None
-        self.callbacks.append(process._resume)
+        self._ok = True
+        self._processed = False
+        self.defused = False
         sim._schedule(self, priority=URGENT)
 
 
 class Process(Event):
     """A running generator; also an event firing at termination."""
 
-    __slots__ = ("generator", "_target")
+    __slots__ = ("generator", "_target", "_resume_cb")
 
     def __init__(
         self, sim: "Simulator", generator: Generator, name: Optional[str] = None
@@ -46,6 +59,8 @@ class Process(Event):
         #: the event this process currently waits on (None when running
         #: its first step or already terminated).
         self._target: Optional[Event] = None
+        #: the one bound-method object used for every subscription
+        self._resume_cb = self._resume
         _Initialize(sim, self)
 
     @property
@@ -57,7 +72,8 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time.
 
         Interrupting a dead process is an error; interrupting a process
-        that is waiting detaches it from its wait target first.
+        that is waiting detaches it from its wait target first (the
+        waiter slot is tombstoned — see ``Event.unsubscribe``).
         """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
@@ -67,52 +83,68 @@ class Process(Event):
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event.defused = True
-        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.callbacks.append(self._resume_cb)
         self.sim._schedule(interrupt_event, priority=URGENT)
         if self._target is not None:
-            self._target.unsubscribe(self._resume)
+            self._target.unsubscribe(self._resume_cb)
             self._target = None
 
     # -- stepping (kernel-internal) ----------------------------------------
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.sim._active_process = self
-        self._target = None
+        sim = self.sim
+        sim._active_process = self
+        generator = self.generator
+        send = generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = self.generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event.defused = True
-                    next_event = self.generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
-                self.sim._active_process = None
+                sim._active_process = None
                 self.succeed(stop.value)
                 return
             except StopProcess as stop:
-                self.sim._active_process = None
+                sim._active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as error:
-                self.sim._active_process = None
+                sim._active_process = None
                 self.fail(error)
                 return
 
+            # Fast path: a live (unprocessed) Timeout — the dominant
+            # thing processes wait on.  Append the cached bound method
+            # directly; the generic checks below are redundant here.
+            if type(next_event) is Timeout:
+                callbacks = next_event.callbacks
+                if callbacks is not None:
+                    callbacks.append(self._resume_cb)
+                    self._target = next_event
+                    sim._active_process = None
+                    return
+                # already processed: resume immediately with its outcome
+                event = next_event
+                continue
+
             if not isinstance(next_event, Event):
-                self.sim._active_process = None
+                sim._active_process = None
                 crash = RuntimeError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-                self.generator.close()
+                generator.close()
                 self.fail(crash)
                 return
 
-            if next_event.processed:
+            if next_event._processed:
                 # Already happened: resume immediately with its outcome.
                 event = next_event
                 continue
-            next_event.subscribe(self._resume)
+            next_event.callbacks.append(self._resume_cb)
             self._target = next_event
-            self.sim._active_process = None
+            sim._active_process = None
             return

@@ -74,6 +74,9 @@ class ServiceGroup:
         self.refresh_interval = refresh_interval
         self.max_stale_misses = max_stale_misses
         self._entries: Dict[str, ServiceGroupEntry] = {}
+        #: memoized :meth:`documents` list; dropped whenever membership
+        #: or any entry's content snapshot can change
+        self._documents_cache: Optional[List[Element]] = None
         self._proc = None
         self.refreshes = 0
 
@@ -94,19 +97,31 @@ class ServiceGroup:
         entry = ServiceGroupEntry(epr, content, provider)
         entry.refreshed_at = self.sim.now
         self._entries[self.entry_key(epr)] = entry
+        self._documents_cache = None
         return entry
 
     def remove(self, epr: EndpointReference) -> bool:
         """Drop an aggregated member; True when it existed."""
-        return self._entries.pop(self.entry_key(epr), None) is not None
+        removed = self._entries.pop(self.entry_key(epr), None) is not None
+        if removed:
+            self._documents_cache = None
+        return removed
 
     def entries(self) -> List[ServiceGroupEntry]:
         """All current entries."""
         return list(self._entries.values())
 
     def documents(self) -> List[Element]:
-        """Content snapshots of all entries (the XPath query surface)."""
-        return [e.content for e in self._entries.values()]
+        """Content snapshots of all entries (the XPath query surface).
+
+        The list is memoized between membership/refresh changes — every
+        query walks it, and rebuilding it per query was pure overhead.
+        Callers must not mutate the returned list.
+        """
+        docs = self._documents_cache
+        if docs is None:
+            docs = self._documents_cache = [e.content for e in self._entries.values()]
+        return docs
 
     def find_by_key(self, key: str) -> Optional[ServiceGroupEntry]:
         """First entry whose EPR resource key equals ``key``."""
@@ -126,6 +141,7 @@ class ServiceGroup:
         for key in dropped:
             del self._entries[key]
         self.refreshes += 1
+        self._documents_cache = None  # content snapshots may have changed
         return len(dropped)
 
     def start(self) -> None:

@@ -114,9 +114,62 @@ class Element:
             if children:
                 stack.extend(reversed(children))
 
+    def preorder(self) -> List["Element"]:
+        """This subtree as a pre-order list (same order as :meth:`iter`).
+
+        The XPath engine consumes whole subtrees as lists; building the
+        list directly skips the per-element generator resume of
+        :meth:`iter`, which dominated query-heavy profiles.
+        """
+        out: List["Element"] = []
+        append = out.append
+        stack = [self]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            node = pop()
+            append(node)
+            children = node.children
+            if children:
+                extend(reversed(children))
+        return out
+
+    def walk_matching(self, tag: Optional[str], out: List["Element"]) -> int:
+        """Append pre-order descendants-or-self whose tag is ``tag``.
+
+        ``tag=None`` matches every element.  Returns the number of
+        nodes visited (= subtree size) — the XPath engine's node-test
+        visit count.  Fusing the walk with the tag test avoids
+        materializing whole subtrees just to discard non-matches,
+        which is the hot path of every ``//Tag[...]`` query.
+        """
+        visited = 0
+        append = out.append
+        stack = [self]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            node = pop()
+            visited += 1
+            if tag is None or node.tag == tag:
+                append(node)
+            children = node.children
+            if children:
+                extend(reversed(children))
+        return visited
+
     def count_nodes(self) -> int:
         """Number of elements in this subtree."""
-        return sum(1 for _ in self.iter())
+        count = 1
+        stack = [self]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            children = pop().children
+            if children:
+                count += len(children)
+                extend(children)
+        return count
 
     def deep_copy(self) -> "Element":
         """A detached structural copy of this subtree."""

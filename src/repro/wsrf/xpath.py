@@ -125,9 +125,20 @@ def _parse_predicate(body: str) -> Predicate:
     return Predicate(kind="child", name=body)
 
 
+#: memoized compiled queries — services re-issue the same handful of
+#: expressions thousands of times, and parsing showed up in profiles.
+#: Bounded: cleared wholesale if an adversarial workload floods it.
+_COMPILE_CACHE: dict = {}
+_COMPILE_CACHE_LIMIT = 512
+
+
 @dataclass
 class XPathQuery:
-    """A compiled query; reusable across documents."""
+    """A compiled query; reusable (and shared!) across documents.
+
+    Instances returned by :meth:`compile` are cached per expression and
+    shared between callers; treat them as immutable.
+    """
 
     expression: str
     steps: List[Step] = field(default_factory=list)
@@ -135,6 +146,17 @@ class XPathQuery:
 
     @classmethod
     def compile(cls, expression: str) -> "XPathQuery":
+        cached = _COMPILE_CACHE.get(expression)
+        if cached is not None:
+            return cached
+        query = cls._compile_uncached(expression)
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+            _COMPILE_CACHE.clear()
+        _COMPILE_CACHE[expression] = query
+        return query
+
+    @classmethod
+    def _compile_uncached(cls, expression: str) -> "XPathQuery":
         text = expression.strip()
         if not text:
             raise XPathError("empty XPath expression")
@@ -191,28 +213,48 @@ class XPathQuery:
         current: List[Element] = []
 
         first = self.steps[0]
-        # Seed the node set from document roots.
-        for root in root_list:
-            if first.axis == "descendant":
-                candidates = list(root.iter())
-            else:
-                candidates = [root]
-            matched, seen = _filter(candidates, first)
-            visits += seen
-            current.extend(matched)
+        # Seed the node set from document roots.  Descendant steps fuse
+        # the subtree walk with the tag test (see ``walk_matching``);
+        # the unfused path is kept for position predicates, whose index
+        # is defined within each root's own candidate set.
+        if first.axis == "descendant" and not _has_position_predicate(first):
+            tag = None if first.test == "*" else first.test
+            for root in root_list:
+                visits += root.walk_matching(tag, current)
+            current, extra = _apply_predicates(current, first.predicates)
+            visits += extra
+        else:
+            for root in root_list:
+                if first.axis == "descendant":
+                    candidates = root.preorder()
+                else:
+                    candidates = [root]
+                matched, seen = _filter(candidates, first)
+                visits += seen
+                current.extend(matched)
 
         for step in self.steps[1:]:
             if step.is_attribute or step.is_text:
                 break
             next_set: List[Element] = []
-            for node in current:
-                if step.axis == "descendant":
-                    candidates = [d for c in node.children for d in c.iter()]
-                else:
-                    candidates = node.children
-                matched, seen = _filter(candidates, step)
-                visits += seen
-                next_set.extend(matched)
+            if step.axis == "descendant" and not _has_position_predicate(step):
+                tag = None if step.test == "*" else step.test
+                for node in current:
+                    for child in node.children:
+                        visits += child.walk_matching(tag, next_set)
+                next_set, extra = _apply_predicates(next_set, step.predicates)
+                visits += extra
+            else:
+                for node in current:
+                    if step.axis == "descendant":
+                        candidates = []
+                        for child in node.children:
+                            candidates.extend(child.preorder())
+                    else:
+                        candidates = node.children
+                    matched, seen = _filter(candidates, step)
+                    visits += seen
+                    next_set.extend(matched)
             current = next_set
 
         last = self.steps[-1]
@@ -236,6 +278,36 @@ class XPathQuery:
         return list(current), visits
 
 
+def _has_position_predicate(step: Step) -> bool:
+    """True when any predicate indexes by position (needs grouped eval)."""
+    for predicate in step.predicates:
+        if predicate.kind == "position":
+            return True
+    return False
+
+
+def _apply_predicates(
+    matched: List[Element], predicates: Sequence[Predicate]
+) -> Tuple[List[Element], int]:
+    """Run predicates over ``matched``; returns survivors + visit count.
+
+    One visit per element per predicate evaluated against it — the same
+    accounting whether the caller filtered per group or over the
+    concatenation (position predicates excepted; callers keep those on
+    the grouped path).
+    """
+    visits = 0
+    for predicate in predicates:
+        visits += len(matched)
+        matches = predicate.matches
+        matched = [
+            element
+            for index, element in enumerate(matched, start=1)
+            if matches(element, index)
+        ]
+    return matched, visits
+
+
 def _filter(candidates: Sequence[Element], step: Step) -> Tuple[List[Element], int]:
     """Apply a step's node test and predicates; count visited nodes.
 
@@ -252,15 +324,8 @@ def _filter(candidates: Sequence[Element], step: Step) -> Tuple[List[Element], i
         matched = list(candidates)
     else:
         matched = [element for element in candidates if element.tag == test]
-    for predicate in step.predicates:
-        visits += len(matched)
-        matches = predicate.matches
-        matched = [
-            element
-            for index, element in enumerate(matched, start=1)
-            if matches(element, index)
-        ]
-    return matched, visits
+    matched, predicate_visits = _apply_predicates(matched, step.predicates)
+    return matched, visits + predicate_visits
 
 
 def xpath_find(

@@ -1,0 +1,113 @@
+"""Tests for the cached wire forms on activity types and deployments.
+
+``wire_xml()``/``wire_size()`` memoize the serialized XML so the hot
+lookup path stops re-serializing per request; the cache must stay
+byte-identical to a fresh ``to_xml().to_string()`` and must be dropped
+whenever a serialized field mutates (the status-monitor update path).
+"""
+
+from repro.glare.model import (
+    ActivityDeployment,
+    ActivityType,
+    DeploymentKind,
+    DeploymentStatus,
+    TypeKind,
+)
+
+
+def _deployment(**overrides):
+    fields = dict(
+        name="povray-1",
+        type_name="JPOVray",
+        kind=DeploymentKind.EXECUTABLE,
+        site="hafner",
+        path="/opt/povray/bin/povray",
+        home="/opt/povray",
+        status=DeploymentStatus.ACTIVE,
+    )
+    fields.update(overrides)
+    return ActivityDeployment(**fields)
+
+
+class TestWireCache:
+    def test_wire_xml_matches_fresh_serialization(self):
+        at = ActivityType(name="POVray", kind=TypeKind.CONCRETE,
+                          domain="imaging", description="ray tracer",
+                          deployment_names=["povray"])
+        assert at.wire_xml() == at.to_xml().to_string()
+        dep = _deployment()
+        assert dep.wire_xml() == dep.to_xml().to_string()
+
+    def test_wire_size_is_len_of_wire_xml(self):
+        dep = _deployment()
+        assert dep.wire_size() == len(dep.wire_xml())
+
+    def test_cache_hit_returns_same_object(self):
+        dep = _deployment()
+        assert dep.wire_xml() is dep.wire_xml()
+
+    def test_invalidate_drops_cache(self):
+        dep = _deployment()
+        stale = dep.wire_xml()
+        dep.status = DeploymentStatus.FAILED
+        # mutation without invalidation leaves the stale bytes (the
+        # documented contract: mutators must call invalidate_wire_cache)
+        assert dep.wire_xml() is stale
+        dep.invalidate_wire_cache()
+        fresh = dep.wire_xml()
+        assert fresh != stale
+        assert 'status="failed"' in fresh
+        assert fresh == dep.to_xml().to_string()
+
+    def test_invalidate_without_cache_is_noop(self):
+        dep = _deployment()
+        dep.invalidate_wire_cache()  # nothing cached yet; must not raise
+        assert dep.wire_xml() == dep.to_xml().to_string()
+
+    def test_update_status_op_refreshes_wire_form(self):
+        # End-to-end through the registry op that mutates deployments —
+        # the only post-registration mutation site of a wire-cached object.
+        from repro.glare.registry import (
+            ActivityDeploymentRegistry,
+            ActivityTypeRegistry,
+            ADR_SERVICE,
+            ATR_SERVICE,
+        )
+        from repro.net.network import Network
+        from repro.net.topology import Topology
+        from repro.simkernel import Simulator
+
+        sim = Simulator(seed=41)
+        topo = Topology.full_mesh(["s0", "s1"], latency=0.003, bandwidth=1e7)
+        net = Network(sim, topo)
+        net.add_node("s0", cores=2)
+        net.add_node("s1", cores=2)
+        atr = ActivityTypeRegistry(net, "s0")
+        adr = ActivityDeploymentRegistry(net, "s0", atr=atr)
+
+        def call(service, method, payload):
+            def client():
+                return (yield from net.call("s1", "s0", service, method,
+                                            payload=payload))
+
+            proc = sim.process(client())
+            sim.run(until=proc)
+            return proc.value
+
+        type_xml = ActivityType(
+            name="JPOVray", kind=TypeKind.CONCRETE, domain="imaging"
+        ).to_xml().to_string()
+        call(ATR_SERVICE, "register_type", {"xml": type_xml})
+        dep = _deployment(site="s0")
+        call(ADR_SERVICE, "register_deployment",
+             {"xml": dep.to_xml().to_string()})
+
+        stored = adr.deployments["s0:povray-1"]
+        before = stored.wire_xml()
+        assert 'status="active"' in before
+        call(ADR_SERVICE, "update_status",
+             {"key": stored.key, "status": "failed"})
+        after = stored.wire_xml()
+        assert after != before
+        assert 'status="failed"' in after
+        assert after == stored.to_xml().to_string()

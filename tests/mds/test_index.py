@@ -185,3 +185,49 @@ def _epr(key):
     from repro.wsrf.resource import EndpointReference
 
     return EndpointReference(address="s0/mds-index", service="mds-index", key=key)
+
+
+class TestIncrementalNodeCount:
+    """_total_nodes is maintained incrementally; must track a full recount."""
+
+    def _epr(self, index, key):
+        from repro.wsrf.resource import EndpointReference
+
+        return EndpointReference(address=f"s{key}/{index.name}",
+                                 service=index.name, key=f"k{key}")
+
+    def test_register_unregister_replace_keep_count_exact(self):
+        sim, net, index = make_world()
+        docs = [type_doc(f"T{i}") for i in range(5)]
+        for i, doc in enumerate(docs):
+            index.register_document(self._epr(index, i), doc)
+        assert index._total_nodes == sum(d.count_nodes() for d in docs)
+
+        # replace an entry with a bigger document: no double counting
+        big = type_doc("T0")
+        for j in range(7):
+            big.make_child("Extra", text=str(j))
+        index.register_document(self._epr(index, 0), big)
+        index._recount()
+        recounted = index._total_nodes
+        index.register_document(self._epr(index, 0), big)  # idempotent
+        assert index._total_nodes == recounted
+
+        assert index.unregister_document(self._epr(index, 3))
+        assert not index.unregister_document(self._epr(index, 3))
+        incremental = index._total_nodes
+        index._recount()
+        assert index._total_nodes == incremental
+
+    def test_incremental_total_matches_recount_after_churn(self):
+        sim, net, index = make_world()
+        for round_no in range(3):
+            for i in range(6):
+                index.register_document(self._epr(index, i),
+                                        type_doc(f"T{round_no}-{i}"))
+            for i in range(0, 6, 2):
+                index.unregister_document(self._epr(index, i))
+        incremental = index._total_nodes
+        index._recount()
+        assert index._total_nodes == incremental
+        assert incremental > 0

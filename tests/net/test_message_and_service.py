@@ -131,3 +131,61 @@ class TestCpuAccounting:
         cpu = CPU(sim, cores=1)
         with pytest.raises(ValueError):
             list(cpu.execute(-1))
+
+
+class TestSizeEstimationExactness:
+    """The compositional fast path must equal ``max(floor, len(repr(p)))``.
+
+    :func:`repro.net.message.estimate_size` documents this identity;
+    the memoized/compositional computation is purely a speedup.
+    """
+
+    def test_scalars(self):
+        for payload in ("", "hello", "x" * 5000, 0, -17, 3.14159, True, False):
+            assert estimate_size(payload) == max(256, len(repr(payload)))
+
+    def test_nested_containers(self):
+        payloads = [
+            {},
+            [],
+            {"key": "value", "n": 42},
+            ["a", "b", {"c": [1, 2, 3]}],
+            {"xml": "<Entry name='x'/>" * 100, "meta": {"depth": [None, True]}},
+            {"quotes": 'she said "hi"', "apos": "it's"},
+        ]
+        for payload in payloads:
+            assert estimate_size(payload) == max(256, len(repr(payload)))
+
+    def test_memoized_strings_stay_exact(self):
+        # repeated calls hit the repr-length memo; values must not drift
+        payload = {"path": "/opt/app/bin/app", "site": "s0"}
+        first = estimate_size(payload)
+        for _ in range(5):
+            assert estimate_size(payload) == first == max(256, len(repr(payload)))
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis always in CI
+    pass
+else:
+    _scalars = st.one_of(
+        st.none(), st.booleans(), st.integers(),
+        st.floats(allow_nan=False),
+        st.text(max_size=40),
+    )
+    _payloads = st.recursive(
+        _scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=5),
+            st.dictionaries(st.text(max_size=10), children, max_size=5),
+        ),
+        max_leaves=25,
+    )
+
+    @given(_payloads)
+    @settings(max_examples=300)
+    def test_estimate_size_equals_repr_length(payload):
+        expected = 256 if payload is None else max(256, len(repr(payload)))
+        assert estimate_size(payload) == expected

@@ -1,0 +1,74 @@
+"""Determinism gate for the wall-clock fast path.
+
+Pins the seeded kernel-trace fingerprint and the end-to-end simulated
+experiment outputs against the committed ``BENCH_kernel.json``
+baseline.  Any optimisation that changes a simulated-time result —
+event ordering, CPU charges, message sizes, XPath visit counts — shows
+up here as a byte-level diff, independent of how much faster it runs.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import perf
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+#: hard-coded second copy of the trace pin so a regenerated baseline
+#: file cannot silently ratify a behaviour change
+KERNEL_TRACE_SHA = "608a9146715772e560498dcaf8ac5d94dbba4f9c21b1022034e9d4eb3f27645b"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with BASELINE_PATH.open() as handle:
+        return json.load(handle)
+
+
+class TestDeterminismGate:
+    def test_kernel_trace_matches_committed_baseline(self, baseline):
+        current = perf.kernel_trace_fingerprint()
+        assert current == baseline["determinism"]["kernel_trace"]
+
+    def test_kernel_trace_matches_hardcoded_pin(self):
+        current = perf.kernel_trace_fingerprint()
+        assert current["sha256"] == KERNEL_TRACE_SHA
+        assert current["events"] == 266
+        assert current["final_time"] == "100.0"
+
+    def test_experiment_outputs_match_committed_baseline(self, baseline):
+        current = perf.experiment_fingerprint()
+        expected = baseline["determinism"]["experiment"]
+        # compare key-by-key so a drift names the quantity that moved
+        assert set(current) == set(expected)
+        for key in expected:
+            assert current[key] == expected[key], f"drift in {key}"
+
+
+class TestBaselineFile:
+    def test_baseline_has_required_rates(self, baseline):
+        for name in ("kernel", "rpc", "fig10_registry", "fig10_index"):
+            result = baseline["results"][name]
+            assert result["value"] > 0
+            assert result["wall_seconds"] > 0
+            assert result["work_units"] > 0
+        assert baseline["peak_rss_kb"] > 0
+
+    def test_compare_to_baseline_accepts_itself(self, baseline):
+        assert perf.compare_to_baseline(baseline, baseline) == []
+
+    def test_compare_to_baseline_flags_regression(self, baseline):
+        slow = json.loads(json.dumps(baseline))
+        slow["results"]["kernel"]["value"] = baseline["results"]["kernel"]["value"] / 3
+        failures = perf.compare_to_baseline(slow, baseline, max_regression=0.25)
+        assert len(failures) == 1
+        assert "kernel" in failures[0]
+
+    def test_small_jitter_within_tolerance(self, baseline):
+        jittered = json.loads(json.dumps(baseline))
+        for name in ("kernel", "rpc"):
+            jittered["results"][name]["value"] *= 0.9
+        assert perf.compare_to_baseline(jittered, baseline, max_regression=0.25) == []

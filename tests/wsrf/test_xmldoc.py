@@ -107,3 +107,45 @@ class TestElement:
         root = parse_xml(DEPLOYFILE_SAMPLE)
         again = parse_xml(root.to_string())
         assert root.equals(again)
+
+
+class TestTraversalConsistency:
+    """preorder/walk_matching/count_nodes must agree with iter()."""
+
+    def _doc(self):
+        root = Element("R")
+        for i in range(3):
+            entry = root.make_child("Entry", name=f"e{i}")
+            entry.make_child("Type", text="Imaging")
+            deep = entry.make_child("Deployment", name=f"d{i}")
+            deep.make_child("Path", text=f"/opt/{i}")
+        return root
+
+    def test_preorder_matches_iter(self):
+        doc = self._doc()
+        assert doc.preorder() == list(doc.iter())
+
+    def test_preorder_single_node(self):
+        leaf = Element("Leaf")
+        assert leaf.preorder() == [leaf]
+
+    def test_walk_matching_agrees_with_filtered_iter(self):
+        doc = self._doc()
+        for tag in ("Entry", "Type", "Nope", None):
+            out = []
+            visited = doc.walk_matching(tag, out)
+            expected = [e for e in doc.iter() if tag is None or e.tag == tag]
+            assert out == expected
+            assert visited == doc.count_nodes()
+
+    def test_walk_matching_appends_to_existing_list(self):
+        doc = self._doc()
+        out = ["sentinel"]
+        doc.walk_matching("Type", out)
+        assert out[0] == "sentinel"
+        assert len(out) == 4
+
+    def test_count_nodes_matches_iter_length(self):
+        doc = self._doc()
+        assert doc.count_nodes() == len(list(doc.iter())) == 13
+        assert Element("One").count_nodes() == 1

@@ -110,3 +110,112 @@ class TestErrors:
         r1, _ = q.evaluate(DOC)
         r2, _ = q.evaluate(DOC)
         assert len(r1) == len(r2) == 3
+
+
+class TestFusedDescendantWalk:
+    """The fused ``walk_matching`` path must agree with the grouped path."""
+
+    QUERIES = [
+        "//Entry",
+        "//Entry[@name='JPOVray']",
+        "//Deployment[@kind='executable']",
+        "//Entry/Deployment",
+        "//Entry//Deployment",
+        "/Registry//Deployment[@kind='service']/@path",
+        "//Entry[Type='Imaging']",
+        "//*",
+        "//Entry/Type/text()",
+    ]
+
+    def _grouped_reference(self, expression, roots):
+        """Reference result computed without the fused fast path."""
+        from repro.wsrf import xpath as xp
+
+        query = XPathQuery._compile_uncached(expression)
+        # emulate the pre-fusion engine: preorder + _filter per root/group
+        visits = 0
+        current = []
+        first = query.steps[0]
+        for root in roots:
+            if first.axis == "descendant":
+                candidates = root.preorder()
+            else:
+                candidates = [root]
+            matched, seen = xp._filter(candidates, first)
+            visits += seen
+            current.extend(matched)
+        for step in query.steps[1:]:
+            if step.is_attribute or step.is_text:
+                break
+            next_set = []
+            for node in current:
+                if step.axis == "descendant":
+                    candidates = []
+                    for child in node.children:
+                        candidates.extend(child.preorder())
+                else:
+                    candidates = node.children
+                matched, seen = xp._filter(candidates, step)
+                visits += seen
+                next_set.extend(matched)
+            current = next_set
+        last = query.steps[-1]
+        if last.is_attribute and len(query.steps) > 1:
+            name = last.test[1:]
+            values = []
+            for node in current:
+                visits += 1
+                if name == "*":
+                    values.extend(node.attrib.values())
+                elif name in node.attrib:
+                    values.append(node.attrib[name])
+            return values, visits
+        if last.is_text and len(query.steps) > 1:
+            texts = []
+            for node in current:
+                visits += 1
+                if node.text.strip():
+                    texts.append(node.text.strip())
+            return texts, visits
+        return list(current), visits
+
+    @pytest.mark.parametrize("expression", QUERIES)
+    def test_fused_matches_grouped_results_and_visits(self, expression):
+        doc2 = parse_xml(
+            '<Registry><Entry name="Extra" kind="concrete">'
+            "<Type>Imaging</Type>"
+            '<Deployment name="x" kind="executable" path="/opt/x"/>'
+            "</Entry></Registry>"
+        )
+        forest = [DOC, doc2]
+        fused = XPathQuery.compile(expression).evaluate(forest)
+        reference = self._grouped_reference(expression, forest)
+        assert fused == reference
+
+    def test_position_predicate_stays_per_root(self):
+        # [2] indexes within each root's candidate set, not the forest
+        doc_a = parse_xml("<R><E n='a1'/><E n='a2'/></R>")
+        doc_b = parse_xml("<R><E n='b1'/><E n='b2'/></R>")
+        results, _ = XPathQuery.compile("//E[2]").evaluate([doc_a, doc_b])
+        assert [e.get("n") for e in results] == ["a2", "b2"]
+
+
+class TestCompileCache:
+    def test_compile_memoizes(self):
+        a = XPathQuery.compile("//Entry[@name='memo-test']")
+        b = XPathQuery.compile("//Entry[@name='memo-test']")
+        assert a is b
+
+    def test_cache_is_bounded(self):
+        from repro.wsrf.xpath import _COMPILE_CACHE, _COMPILE_CACHE_LIMIT
+
+        for i in range(_COMPILE_CACHE_LIMIT + 10):
+            XPathQuery.compile(f"//Bound{i}")
+        assert len(_COMPILE_CACHE) <= _COMPILE_CACHE_LIMIT
+
+    def test_bad_expressions_not_cached(self):
+        from repro.wsrf.xpath import _COMPILE_CACHE
+
+        with pytest.raises(XPathError):
+            XPathQuery.compile("//Entry[]")
+        assert "//Entry[]" not in _COMPILE_CACHE
