@@ -17,11 +17,21 @@ Usage::
     python benchmarks/bench_wallclock.py --quick          # CI smoke sizes
     python benchmarks/bench_wallclock.py -o BENCH_kernel.json
     python benchmarks/bench_wallclock.py --quick --check-baseline BENCH_kernel.json
+    python benchmarks/bench_wallclock.py --resolution -o BENCH_resolution.json
+    python benchmarks/bench_wallclock.py --resolution \
+        --check-resolution BENCH_resolution.json
 
 ``--check-baseline`` enforces the two gates against a committed
 baseline file: rate metrics must not regress by more than
 ``--max-regression`` (default 25%), and the determinism fingerprints
 must match exactly.  Exit status 1 on any failure.
+
+``--resolution`` runs the Fig. 14 resolution-path pair instead of the
+kernel suite and emits/gates ``BENCH_resolution.json``: the simulated
+messages-per-resolution figures must stay within ``--max-regression``
+of the committed baseline and the result-set digests must match
+exactly (fingerprint drift = the optimizations changed what a
+resolution returns).
 
 Wall-clock rates vary across machines; the committed baseline is only
 a tripwire for large same-machine-family regressions, which is why the
@@ -68,6 +78,26 @@ def _check_determinism(suite, baseline) -> list:
     return failures
 
 
+def _print_resolution_summary(suite) -> None:
+    result = suite["results"]["resolution"]
+    details = result["details"]
+    print(f"bench_resolution ({suite['mode']}, {details['n_sites']} sites)")
+    print(
+        f"  resolution {result['value']:>12,.0f} {result['metric']:<28s}"
+        f" ({result['wall_seconds']:.3f}s wall)"
+    )
+    print(
+        f"  msgs/resolution  baseline {details['baseline_messages_per_resolution']:.1f}"
+        f"  optimized {details['optimized_messages_per_resolution']:.1f}"
+        f"  ({details['message_ratio']:.1f}x, results "
+        f"{'equal' if details['results_equal'] else 'DIFFER'})"
+    )
+    print(
+        f"  revalidation/cycle  per-entry {details['revalidation_per_entry_messages']}"
+        f"  batched {details['revalidation_batched_messages']}"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -80,7 +110,31 @@ def main(argv=None) -> int:
                         help="fail on rate regression / determinism drift vs this file")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="tolerated fractional rate drop (default 0.25)")
+    parser.add_argument("--resolution", action="store_true",
+                        help="run the Fig. 14 resolution-path pair instead")
+    parser.add_argument("--check-resolution", metavar="PATH",
+                        help="fail on message regression / result drift vs this file")
     args = parser.parse_args(argv)
+
+    if args.resolution or args.check_resolution:
+        suite = perf.resolution_suite(quick=args.quick)
+        _print_resolution_summary(suite)
+        if args.output:
+            perf.dump_suite(suite, args.output)
+            print(f"wrote {args.output}")
+        if args.check_resolution:
+            with open(args.check_resolution) as handle:
+                baseline = json.load(handle)
+            failures = perf.compare_resolution_baseline(
+                suite, baseline, max_regression=args.max_regression
+            )
+            if failures:
+                print("FAIL:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print(f"resolution baseline check passed ({args.check_resolution})")
+        return 0
 
     suite = perf.run_suite(quick=args.quick, repeats=args.repeats)
     _print_summary(suite)

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig11 [--quick]
     python -m repro fig12
     python -m repro fig13 [--quick]
+    python -m repro fig14 [--quick]
     python -m repro all [--quick]
     python -m repro trace [deploy|lookup|election] [--chrome-out FILE]
                           [--jsonl-out FILE]
@@ -69,6 +70,18 @@ def _run_fig12(quick: bool) -> str:
     return format_fig12(run_fig12())
 
 
+def _run_fig14(quick: bool) -> str:
+    from repro.experiments.fig14 import (
+        format_fig14,
+        run_fig14,
+        run_revalidation_point,
+    )
+
+    sizes = (16, 64) if quick else (16, 64, 128, 256)
+    return format_fig14(run_fig14(sizes=sizes),
+                        revalidation=run_revalidation_point())
+
+
 def _run_fig13(quick: bool) -> str:
     from repro.experiments.fig13 import format_fig13, run_fig13
 
@@ -84,6 +97,7 @@ COMMANDS = {
     "fig11": _run_fig11,
     "fig12": _run_fig12,
     "fig13": _run_fig13,
+    "fig14": _run_fig14,
 }
 
 #: scenario names accepted by the trace/metrics subcommands (mirrors

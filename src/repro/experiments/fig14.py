@@ -1,0 +1,359 @@
+"""Fig. 14 (extension): resolution-path message cost at VO scale.
+
+The paper's evaluation stops at seven sites; its resolution walk
+(local → group peers → super-peer → *every other* super-peer, each of
+which fans out to *its* members) floods the VO on a cache miss, so
+messages per resolution grow linearly with VO size.  This experiment
+sweeps the VO size (16/64/128/256 sites) and contrasts the broadcast
+baseline with the scaled resolution path of
+:class:`repro.glare.resolution.ResolutionConfig`: singleflight
+coalescing, super-peer content digests with negative caching, batched
+cache revalidation, and jittered monitors.
+
+Methodology
+-----------
+Registry caching is *disabled* for the workload phases so every
+request exercises the full protocol (the cache's own effect is Fig. 12's
+subject); both series therefore measure pure protocol cost on
+identical request sequences.  Three phases per run:
+
+* **warm** — clients at distinct sites repeatedly resolve types homed
+  at other sites (digests converge after the first full broadcast);
+* **missing** — clients repeatedly resolve types that exist nowhere
+  (exercising the negative cache);
+* **burst** — concurrent clients at one site resolve the same type at
+  once (exercising singleflight).
+
+Every resolution's result set (the deployment keys returned, or the
+type-not-found outcome) is folded into an order-insensitive digest;
+baseline and optimized runs must produce the *same* digest, proving
+the optimizations never change what a client sees — only what it
+costs.  Digest-note traffic (setup) is reported separately from the
+workload window so the per-resolution figure stays honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.experiments.report import format_table
+from repro.glare.model import ActivityDeployment, DeploymentKind, DeploymentStatus
+from repro.glare.resolution import ResolutionConfig
+from repro.vo import build_vo
+
+GROUP_SIZE = 8
+
+TYPE_XML_TEMPLATE = """
+<ActivityTypeEntry name="{name}" kind="concrete">
+  <Domain>scale</Domain>
+  <Function name="run"><Input>data</Input><Output>result</Output></Function>
+</ActivityTypeEntry>
+"""
+
+
+@dataclass
+class Fig14Point:
+    """One (VO size, configuration) measurement."""
+
+    n_sites: int
+    optimized: bool
+    resolutions: int
+    workload_messages: int
+    setup_messages: int
+    messages_per_resolution: float
+    p95_response_ms: float
+    mean_response_ms: float
+    tiers: Dict[str, int] = field(default_factory=dict)
+    result_digest: str = ""
+    digest_stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _populate(vo, type_homes: List[Tuple[str, str]]) -> None:
+    """Register each type + one deployment at its home site."""
+    for type_name, home in type_homes:
+        vo.run_process(vo.client_call(
+            home, "register_type",
+            payload={"xml": TYPE_XML_TEMPLATE.format(name=type_name)},
+        ))
+        deployment = ActivityDeployment(
+            name=f"{type_name.lower()}-bin",
+            type_name=type_name,
+            kind=DeploymentKind.EXECUTABLE,
+            site=home,
+            path=f"/opt/deployments/{type_name.lower()}/bin/run",
+            home=f"/opt/deployments/{type_name.lower()}",
+            status=DeploymentStatus.ACTIVE,
+        )
+        vo.run_process(vo.client_call(
+            home, "register_deployment",
+            payload={"xml": deployment.wire_xml()},
+        ))
+
+
+def run_fig14_point(
+    n_sites: int,
+    optimized: bool,
+    n_types: int = 6,
+    n_clients: int = 6,
+    warm_rounds: int = 3,
+    missing_rounds: int = 2,
+    burst_clients: int = 6,
+    seed: int = 21,
+) -> Fig14Point:
+    """One sweep point: ``n_sites`` sites, optimizations on or off."""
+    resolution = ResolutionConfig.all_on() if optimized else ResolutionConfig()
+    vo = build_vo(
+        n_sites=n_sites,
+        seed=seed,
+        cache_enabled=False,  # isolate protocol cost (see module docstring)
+        group_size=GROUP_SIZE,
+        monitors=False,
+        lifecycle=False,
+        resolution=resolution,
+    )
+    vo.form_overlay()
+    names = vo.site_names
+
+    # Types homed in the back half of the site list, clients in the
+    # front half: most resolutions must leave the requester's group.
+    type_homes = [
+        (f"ScaleType{i:02d}", names[n_sites // 2 + (i * (n_sites // 2)) // n_types])
+        for i in range(n_types)
+    ]
+    client_sites = [names[(i * (n_sites // 2)) // n_clients] for i in range(n_clients)]
+    missing_types = ["NoSuchTypeA", "NoSuchTypeB"]
+
+    _populate(vo, type_homes)
+    # let detached digest-note traffic land before the measured window
+    vo.sim.run(until=vo.sim.now + 5.0)
+    setup_messages = vo.network.total_messages
+
+    latencies: List[float] = []
+    records: List[str] = []
+
+    def resolve(site: str, type_name: str, attempt: str) -> Generator:
+        started = vo.sim.now
+        try:
+            wires = yield from vo.client_call(
+                site, "get_deployments",
+                payload={"type": type_name, "auto_deploy": False},
+            )
+            keys = sorted(str(w["epr"]["key"]) for w in wires)
+            outcome = ",".join(keys)
+        except Exception as error:
+            outcome = f"error:{type(error).__name__}"
+        latencies.append(vo.sim.now - started)
+        records.append(f"{site}|{type_name}|{attempt}|{outcome}")
+
+    def warm_client(index: int) -> Generator:
+        site = client_sites[index]
+        for round_no in range(warm_rounds):
+            for offset in range(n_types):
+                type_name = type_homes[(index + offset) % n_types][0]
+                yield from resolve(site, type_name, f"warm{round_no}")
+                yield vo.sim.timeout(0.2)
+
+    def missing_client(index: int) -> Generator:
+        site = client_sites[index]
+        for round_no in range(missing_rounds):
+            for type_name in missing_types:
+                yield from resolve(site, type_name, f"missing{round_no}")
+                yield vo.sim.timeout(0.2)
+
+    def burst_client(index: int) -> Generator:
+        # all at the same site, same type, same instant: the
+        # singleflight shape
+        yield from resolve(client_sites[0], type_homes[0][0], f"burst{index}")
+
+    # phase 1+2: warm + missing, concurrent across client sites
+    procs = [vo.sim.process(warm_client(i), name=f"warm-{i}")
+             for i in range(n_clients)]
+    procs += [vo.sim.process(missing_client(i), name=f"missing-{i}")
+              for i in range(min(3, n_clients))]
+    vo.sim.run(until=vo.sim.all_of(procs))
+    # phase 3: burst
+    procs = [vo.sim.process(burst_client(i), name=f"burst-{i}")
+             for i in range(burst_clients)]
+    vo.sim.run(until=vo.sim.all_of(procs))
+
+    workload_messages = vo.network.total_messages - setup_messages
+    resolutions = len(records)
+
+    tiers: Dict[str, int] = {"local": 0, "group": 0, "super-peer": 0,
+                             "on-demand": 0}
+    for site in set(client_sites):
+        manager = vo.rdm(site).request_manager
+        tiers["local"] += manager.resolved_locally
+        tiers["group"] += manager.resolved_in_group
+        tiers["super-peer"] += manager.resolved_via_superpeer
+        tiers["on-demand"] += manager.resolved_by_deployment
+
+    digest_stats: Dict[str, int] = {}
+    if optimized:
+        joined = sum(vo.rdm(s).request_manager.singleflight_joined
+                     for s in set(client_sites))
+        digest_stats["singleflight_joined"] = joined
+        for name in vo.site_names:
+            digest = vo.rdm(name).digest
+            if digest is None:
+                continue
+            digest_stats["group_hits"] = (
+                digest_stats.get("group_hits", 0) + digest.group_hits)
+            digest_stats["member_skips"] = (
+                digest_stats.get("member_skips", 0) + digest.member_skips)
+            digest_stats["negative_hits"] = (
+                digest_stats.get("negative_hits", 0) + digest.negative_hits)
+
+    result_digest = hashlib.sha256(
+        "\n".join(sorted(records)).encode()
+    ).hexdigest()
+
+    return Fig14Point(
+        n_sites=n_sites,
+        optimized=optimized,
+        resolutions=resolutions,
+        workload_messages=workload_messages,
+        setup_messages=setup_messages,
+        messages_per_resolution=(
+            workload_messages / resolutions if resolutions else float("nan")
+        ),
+        p95_response_ms=_percentile(latencies, 0.95) * 1000.0,
+        mean_response_ms=(
+            sum(latencies) / len(latencies) * 1000.0 if latencies else float("nan")
+        ),
+        tiers=tiers,
+        result_digest=result_digest,
+        digest_stats=digest_stats,
+    )
+
+
+def run_fig14(
+    sizes: Sequence[int] = (16, 64, 128, 256),
+    seed: int = 21,
+) -> List[Fig14Point]:
+    """The sweep: baseline + optimized pair per VO size."""
+    points: List[Fig14Point] = []
+    for n_sites in sizes:
+        points.append(run_fig14_point(n_sites, optimized=False, seed=seed))
+        points.append(run_fig14_point(n_sites, optimized=True, seed=seed))
+    return points
+
+
+# -- batched revalidation (the Cache Refresher half of the story) ----------
+
+
+@dataclass
+class RevalidationPoint:
+    """Messages one Cache Refresher cycle costs, per mode."""
+
+    cached_entries: int
+    distinct_sources: int
+    per_entry_messages: int
+    batched_messages: int
+
+
+def run_revalidation_point(
+    n_sites: int = 6, n_types: int = 12, seed: int = 33
+) -> RevalidationPoint:
+    """Revalidation traffic for one refresher tick, both modes.
+
+    A VO is populated so one site caches ``n_types`` entries drawn from
+    every other site, then a single Cache Refresher tick runs with
+    per-entry ``get_lut`` RPCs and again with ``get_lut_batch``.  The
+    end state is identical; only the message count differs.
+    """
+    from repro.glare.monitors import CacheRefresher
+
+    counts = {}
+    for batched in (False, True):
+        resolution = ResolutionConfig(batch_revalidation=batched)
+        vo = build_vo(
+            n_sites=n_sites, seed=seed, cache_enabled=True,
+            group_size=n_sites + 1, monitors=False, lifecycle=False,
+            resolution=resolution,
+        )
+        vo.form_overlay()
+        names = vo.site_names
+        observer = names[0]
+        type_homes = [
+            (f"RevalType{i:02d}", names[1 + i % (n_sites - 1)])
+            for i in range(n_types)
+        ]
+        _populate(vo, type_homes)
+        # the observer resolves everything once, caching every entry
+        for type_name, _ in type_homes:
+            vo.run_process(vo.client_call(
+                observer, "get_deployments",
+                payload={"type": type_name, "auto_deploy": False},
+            ))
+        refresher = CacheRefresher(vo.rdm(observer))
+        before = vo.network.total_messages
+        vo.run_process(refresher.tick())
+        counts[batched] = vo.network.total_messages - before
+        entries = (len(vo.rdm(observer).atr.cache_sources)
+                   + len(vo.rdm(observer).adr.cache_sources))
+        sources = len({
+            (s.site, s.service)
+            for s in list(vo.rdm(observer).atr.cache_sources.values())
+            + list(vo.rdm(observer).adr.cache_sources.values())
+        })
+    return RevalidationPoint(
+        cached_entries=entries,
+        distinct_sources=sources,
+        per_entry_messages=counts[False],
+        batched_messages=counts[True],
+    )
+
+
+def format_fig14(points: List[Fig14Point],
+                 revalidation: Optional[RevalidationPoint] = None) -> str:
+    rows = []
+    by_size: Dict[int, Dict[bool, Fig14Point]] = {}
+    for point in points:
+        by_size.setdefault(point.n_sites, {})[point.optimized] = point
+    for n_sites in sorted(by_size):
+        pair = by_size[n_sites]
+        for optimized in (False, True):
+            point = pair.get(optimized)
+            if point is None:
+                continue
+            rows.append([
+                n_sites,
+                "optimized" if optimized else "baseline",
+                point.resolutions,
+                round(point.messages_per_resolution, 1),
+                round(point.p95_response_ms, 1),
+                f"{point.tiers.get('group', 0)}/{point.tiers.get('super-peer', 0)}",
+            ])
+        if False in pair and True in pair:
+            base, opt = pair[False], pair[True]
+            ratio = (base.messages_per_resolution
+                     / max(opt.messages_per_resolution, 1e-9))
+            match = "==" if base.result_digest == opt.result_digest else "!!"
+            rows.append([
+                n_sites, f"ratio {ratio:.1f}x (results {match})", "", "", "", "",
+            ])
+    text = format_table(
+        ["sites", "series", "resolutions", "msgs/resolution",
+         "p95 (ms)", "group/SP tier"],
+        rows,
+        title="Fig. 14 — resolution messages vs VO size",
+    )
+    if revalidation is not None:
+        text += (
+            f"\n\nCache revalidation ({revalidation.cached_entries} cached "
+            f"entries from {revalidation.distinct_sources} sources): "
+            f"{revalidation.per_entry_messages} msgs/cycle per-entry vs "
+            f"{revalidation.batched_messages} batched"
+        )
+    return text

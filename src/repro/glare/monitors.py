@@ -42,6 +42,11 @@ class Monitor:
             raise ValueError("monitor interval must be positive")
         self.rdm = rdm
         self.interval = interval
+        #: one-shot start offset before the first tick; with hundreds
+        #: of sites, a per-site deterministic phase (drawn from the
+        #: seeded kernel RNG by the RDM when monitor_jitter is on)
+        #: keeps the loops from firing in lockstep
+        self.phase = 0.0
         self._proc = None
         self.cycles = 0
 
@@ -61,6 +66,8 @@ class Monitor:
 
     def _loop(self) -> Generator:
         try:
+            if self.phase > 0.0:
+                yield self.sim.timeout(self.phase)
             while True:
                 yield self.sim.timeout(self.interval)
                 if not self.rdm.node.online:
@@ -114,10 +121,68 @@ class CacheRefresher(Monitor):
         super().__init__(rdm, interval)
         self.refreshed = 0
         self.discarded = 0
+        #: get_lut_batch RPCs issued (batched mode only)
+        self.batched_rpcs = 0
 
     def tick(self) -> Generator:
+        if self.rdm.resolution.batch_revalidation:
+            yield from self._refresh_batched(
+                self.rdm.atr, self.rdm.atr.drop_cached_type, "lookup_type",
+                self._recache_type,
+            )
+            yield from self._refresh_batched(
+                self.rdm.adr, self.rdm.adr.drop_cached_deployment,
+                "get_deployment", self._recache_deployment,
+            )
+            return
         yield from self._refresh_types()
         yield from self._refresh_deployments()
+
+    def _refresh_batched(self, registry, drop, fetch_method, recache) -> Generator:
+        """One ``get_lut_batch`` per (source site, service) pair.
+
+        End state is identical to the per-entry path: gone resources
+        are discarded, changed ones refetched — but the revalidation
+        traffic is O(distinct sources) instead of O(cached entries).
+        """
+        # entries whose cached resource vanished are dropped up front,
+        # exactly like the per-entry path's first guard
+        for key in list(registry.cache_sources):
+            if registry.cache.lookup(key) is None:
+                drop(key)
+        by_source: dict = {}
+        for key, source in list(registry.cache_sources.items()):
+            by_source.setdefault((source.site, source.service), []).append(key)
+        for (site, service), keys in by_source.items():
+            try:
+                luts = yield from self.rdm.network.call_with_timeout(
+                    self.rdm.node_name, site, service, "get_lut_batch",
+                    payload=list(keys), timeout=8.0,
+                )
+            except (OfflineError, RpcTimeout):
+                continue  # source temporarily unreachable: keep the copies
+            self.batched_rpcs += 1
+            for key in keys:
+                source = registry.cache_sources.get(key)
+                if source is None:
+                    continue  # evicted while the batch was in flight
+                lut = luts.get(key)
+                if lut is None:
+                    drop(key)
+                    self.discarded += 1
+                elif lut > source.last_update_time:
+                    wire = yield from self._safe_fetch(site, service, fetch_method, key)
+                    if wire is not None:
+                        recache(wire)
+                        self.refreshed += 1
+
+    def _recache_type(self, wire) -> None:
+        at = ActivityType.from_xml(wire["xml"])
+        self.rdm.atr.add_cached_type(at, epr_from_wire(wire["epr"]))
+
+    def _recache_deployment(self, wire) -> None:
+        deployment = ActivityDeployment.from_xml(wire["xml"])
+        self.rdm.adr.add_cached_deployment(deployment, epr_from_wire(wire["epr"]))
 
     def _refresh_types(self) -> Generator:
         atr = self.rdm.atr

@@ -35,7 +35,7 @@ from repro.glare.model import (
     DeploymentKind,
     DeploymentStatus,
 )
-from repro.glare.registry import deployment_to_wire, epr_from_wire
+from repro.glare.registry import deployment_to_wire, epr_from_wire, wire_site
 from repro.gridftp.service import TransferError
 from repro.net.network import RpcTimeout
 from repro.simkernel.errors import OfflineError
@@ -224,8 +224,7 @@ class DeploymentManager:
                     target, "local_lookup", {"type": dep_name}
                 )
                 deployed_here = [
-                    w for w in dep_wires["deployments"]
-                    if ActivityDeployment.from_xml(w["xml"]).site == target
+                    w for w in dep_wires["deployments"] if wire_site(w) == target
                 ]
                 if deployed_here:
                     continue

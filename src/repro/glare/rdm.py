@@ -38,8 +38,10 @@ from repro.glare.registry import (
     deployment_to_wire,
     epr_from_wire,
     type_to_wire,
+    wire_site,
 )
-from repro.glare.superpeer import OverlayManager
+from repro.glare.resolution import ResolutionConfig, TypeDigest
+from repro.glare.superpeer import OverlayManager, OverlayView
 from repro.gram.jobs import JobSpec
 from repro.gridftp.service import GridFtpService
 from repro.net.message import Message, Response
@@ -54,6 +56,14 @@ RDM_SERVICE = "glare-rdm"
 class RequestManager:
     """Discovery logic: local → peers → super-peer → other super-peers."""
 
+    #: tier name (as reported by :meth:`_tier_delta`) -> counter attribute
+    _TIER_ATTRS = {
+        "local": "resolved_locally",
+        "group": "resolved_in_group",
+        "super-peer": "resolved_via_superpeer",
+        "on-demand": "resolved_by_deployment",
+    }
+
     def __init__(self, rdm: "GlareRDMService") -> None:
         self.rdm = rdm
         self.requests = 0
@@ -61,6 +71,13 @@ class RequestManager:
         self.resolved_in_group = 0
         self.resolved_via_superpeer = 0
         self.resolved_by_deployment = 0
+        #: singleflight: in-flight resolution walks by (type, flags) key
+        self._inflight: Dict[tuple, object] = {}
+        self.singleflight_led = 0
+        self.singleflight_joined = 0
+        #: fan-out targets whose RPC failed (timeout/offline/error),
+        #: as opposed to answering with an empty result
+        self.fanout_failures: Dict[str, int] = {}
 
     @property
     def sim(self):
@@ -112,14 +129,46 @@ class RequestManager:
                     deployment_wires.append(deployment_to_wire(deployment, epr_d))
         return {"types": type_wires, "deployments": deployment_wires}
 
+    def local_claims(self) -> List[str]:
+        """Every type name this site can answer ``local_lookup`` for.
+
+        That is: known type names (authoritative and cached) plus their
+        ancestors — :meth:`local_lookup` answers for an ancestor name
+        through the hierarchy's dangling-edge tracking — plus the type
+        names of known deployments.  This is the claim set a member
+        pushes into its super-peer's digest.
+        """
+        atr, adr = self.rdm.atr, self.rdm.adr
+        claims: set = set()
+        for name in atr.home.keys() + atr.cache.keys():
+            claims.add(name)
+            claims.update(atr.hierarchy.ancestors(name))
+        for type_name, keys in adr.by_type.items():
+            if keys:
+                claims.add(type_name)
+                # a cached deployment's type may be unknown locally
+                if atr.hierarchy.get(type_name) is not None:
+                    claims.update(atr.hierarchy.ancestors(type_name))
+        return sorted(claims)
+
     def _cache_results(self, result: Dict[str, List[Dict]]) -> None:
         """Fold remote lookup results into the local caches."""
         atr, adr = self.rdm.atr, self.rdm.adr
         for wire in result.get("types", []):
+            # metadata fast path: an authoritative local copy wins, so
+            # the wire need not even be parsed
+            name = wire.get("name")
+            if name is not None and atr.home.lookup(name) is not None:
+                continue
             at = ActivityType.from_xml(wire["xml"])
             if atr.home.lookup(at.name) is None:
                 atr.add_cached_type(at, epr_from_wire(wire["epr"]))
         for wire in result.get("deployments", []):
+            # the EPR key *is* the deployment key ("site:name") for
+            # every wire the registries emit; skip the parse when the
+            # deployment is registered here authoritatively
+            if wire["epr"]["key"] in adr.deployments:
+                continue
             deployment = ActivityDeployment.from_xml(wire["xml"])
             if deployment.key not in adr.deployments:
                 adr.add_cached_deployment(deployment, epr_from_wire(wire["epr"]))
@@ -136,6 +185,18 @@ class RequestManager:
 
     def fanout(self, sites: List[str], method: str, payload: Any) -> Generator:
         """Query several sites in parallel; drop the failures."""
+        labeled = yield from self.fanout_labeled(sites, method, payload)
+        return [value for _, value in labeled]
+
+    def fanout_labeled(self, sites: List[str], method: str,
+                       payload: Any) -> Generator:
+        """Like :meth:`fanout`, but yields ``(site, value)`` pairs.
+
+        Failed targets (offline, timed out, errored — as opposed to
+        answering with an empty result) are counted per site in
+        :attr:`fanout_failures` and on the ``glare.fanout_failures``
+        obs counter, then dropped.
+        """
         procs = [
             self.sim.process(self._safe_rpc(site, method, payload),
                              name=f"fanout:{method}->{site}")
@@ -143,7 +204,17 @@ class RequestManager:
         ]
         if procs:
             yield self.sim.all_of(procs)
-        return [p.value for p in procs if p.ok and p.value is not None]
+        labeled: List[tuple] = []
+        for site, proc in zip(sites, procs):
+            if proc.ok and proc.value is not None:
+                labeled.append((site, proc.value))
+            else:
+                self.fanout_failures[site] = self.fanout_failures.get(site, 0) + 1
+                self.rdm.obs.metrics.counter(
+                    "glare.fanout_failures",
+                    site=self.rdm.node_name, target=site,
+                ).inc()
+        return labeled
 
     # -- the main resolution walk -------------------------------------------------------
 
@@ -158,14 +229,14 @@ class RequestManager:
         self.requests += 1
         obs = self.rdm.obs
         if not obs.enabled:
-            wires = yield from self._resolve(type_name, auto_deploy, exclude_sites)
+            wires = yield from self._resolve_entry(type_name, auto_deploy, exclude_sites)
             return wires
         started = self.sim.now
         before = self._tier_counters()
         with obs.tracer.span(
             "glare:get_deployments", type=type_name, site=self.rdm.node_name
         ) as span:
-            wires = yield from self._resolve(type_name, auto_deploy, exclude_sites)
+            wires = yield from self._resolve_entry(type_name, auto_deploy, exclude_sites)
             tier = self._tier_delta(before)
             span.set_attr("tier", tier)
             span.set_attr("deployments", len(wires))
@@ -187,6 +258,51 @@ class RequestManager:
                 return name
         return "unresolved"
 
+    def _resolve_entry(self, type_name: str, auto_deploy: bool = True,
+                       exclude_sites: tuple = ()) -> Generator:
+        """Singleflight gate in front of :meth:`_resolve`.
+
+        With coalescing enabled, concurrent identical resolutions on
+        this site join the walk already in flight and share its result
+        (bumping the same tier counter the leader's walk hit, so
+        per-request tier accounting still adds up).  A failed leading
+        walk is *not* shared: its error may be specific to the leader's
+        timing, so each follower falls back to its own walk.
+        """
+        if not self.rdm.resolution.singleflight:
+            wires = yield from self._resolve(type_name, auto_deploy, exclude_sites)
+            return wires
+        key = (type_name, bool(auto_deploy), tuple(sorted(exclude_sites)))
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.singleflight_joined += 1
+            self.rdm.obs.metrics.counter(
+                "glare.singleflight_joined", site=self.rdm.node_name
+            ).inc()
+            outcome = yield pending
+            if isinstance(outcome, dict) and outcome.get("ok"):
+                attr = self._TIER_ATTRS.get(outcome.get("tier"))
+                if attr is not None:
+                    setattr(self, attr, getattr(self, attr) + 1)
+                return list(outcome["wires"])
+            wires = yield from self._resolve(type_name, auto_deploy, exclude_sites)
+            return wires
+        done_event = self.sim.event(name=f"resolve:{type_name}")
+        self._inflight[key] = done_event
+        self.singleflight_led += 1
+        try:
+            before = self._tier_counters()
+            wires = yield from self._resolve(type_name, auto_deploy, exclude_sites)
+            done_event.succeed(
+                {"ok": True, "wires": wires, "tier": self._tier_delta(before)}
+            )
+            return wires
+        except BaseException:
+            done_event.succeed({"ok": False})
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
     def _resolve(self, type_name: str, auto_deploy: bool = True,
                  exclude_sites: tuple = ()) -> Generator:
         """The resolution walk itself (see :meth:`get_deployments`)."""
@@ -196,10 +312,7 @@ class RequestManager:
         def _usable(wires):
             if not excluded:
                 return wires
-            return [
-                w for w in wires
-                if ActivityDeployment.from_xml(w["xml"]).site not in excluded
-            ]
+            return [w for w in wires if wire_site(w) not in excluded]
 
         # With caching enabled, local knowledge (authoritative + cached)
         # short-circuits the walk.  With caching disabled, every request
@@ -282,13 +395,29 @@ class RequestManager:
         )
 
     def super_peer_lookup(self, type_name: str, forwarded: bool) -> Generator:
-        """Super-peer body: own group first, then the super group."""
+        """Super-peer body: own group first, then the super group.
+
+        With content digests enabled (:class:`ResolutionConfig`), the
+        member fan-out narrows to members whose claim notes cover the
+        type (only once every member has delivered its bulk note for
+        the current epoch), the cross-group escalation targets only
+        super-peers whose groups claim the type (falling back to the
+        full broadcast when the targeted query comes back empty), and a
+        full broadcast that finds nothing parks the type in a TTL-bound
+        negative cache.
+        """
+        digest = self.rdm.digest if self.rdm.overlay.is_super_peer else None
         result = self.local_lookup(type_name)
         if result["deployments"]:
             return result
         view = self.rdm.overlay.view
         me = self.rdm.node_name
         members = [s for s in view.member_sites() if s != me]
+        if digest is not None:
+            claimed = digest.members_for(type_name, members)
+            if claimed is not None:
+                digest.member_skips += len(members) - len(claimed)
+                members = claimed
         if members:
             results = yield from self.fanout(members, "local_lookup", {"type": type_name})
             merged = _merge([result] + results)
@@ -297,13 +426,53 @@ class RequestManager:
                 return merged
             result = merged
         if not forwarded:
+            ttl = self.rdm.resolution.negative_ttl
+            if (digest is not None and ttl > 0
+                    and digest.is_missing(type_name, self.sim.now)):
+                digest.negative_hits += 1
+                self.rdm.obs.metrics.counter(
+                    "glare.negative_cache_hits", site=me
+                ).inc()
+                return result
             others = self.rdm.overlay.other_super_peers()
+            targeted = digest.groups_for(type_name) if digest is not None else None
+            if targeted is not None:
+                candidates = [s for s in targeted if s in set(others)]
+                if candidates:
+                    digest.group_hits += 1
+                    labeled = yield from self.fanout_labeled(
+                        candidates, "sp_lookup",
+                        {"type": type_name, "forwarded": True},
+                    )
+                    hits = []
+                    for sp_site, value in labeled:
+                        if value and value.get("deployments"):
+                            digest.learn_group(type_name, sp_site)
+                            hits.append(value)
+                        else:
+                            digest.forget_group(type_name, sp_site)
+                    merged = _merge([result] + hits)
+                    if merged["deployments"]:
+                        self._cache_results(merged)
+                        return merged
+                    # every claimed group came back empty: the digest
+                    # was stale — fall through to the full broadcast so
+                    # targeting never shrinks the result set
+                    others = [s for s in others if s not in set(candidates)]
+                    result = merged
             if others:
-                results = yield from self.fanout(
+                labeled = yield from self.fanout_labeled(
                     others, "sp_lookup", {"type": type_name, "forwarded": True}
                 )
-                merged = _merge([result] + results)
+                if digest is not None:
+                    for sp_site, value in labeled:
+                        if value and value.get("deployments"):
+                            digest.learn_group(type_name, sp_site)
+                merged = _merge([result] + [value for _, value in labeled])
                 self._cache_results(merged)
+                if (digest is not None and ttl > 0
+                        and not merged["deployments"]):
+                    digest.note_missing(type_name, self.sim.now, ttl)
                 return merged
         return result
 
@@ -374,6 +543,12 @@ class RequestManager:
                 if not result:
                     continue
                 for wire in result.get("types", []):
+                    # wire metadata fast path: type definitions are
+                    # VO-wide consistent, so a name already present in
+                    # the scratch hierarchy need not be re-parsed
+                    name = wire.get("name")
+                    if name is not None and scratch.get(name) is not None:
+                        continue
                     try:
                         scratch.add(ActivityType.from_xml(wire["xml"]))
                     except Exception:
@@ -427,6 +602,7 @@ class GlareRDMService(Service):
         community_index_service: str = "mds-index",
         group_size: int = 3,
         request_demand: float = 0.002,
+        resolution: Optional[ResolutionConfig] = None,
     ) -> None:
         super().__init__(network, site.name)
         self.site = site
@@ -436,10 +612,20 @@ class GlareRDMService(Service):
         self.community_site = community_site
         self.community_index_service = community_index_service
         self.request_demand = request_demand
+        self.resolution = resolution if resolution is not None else ResolutionConfig()
 
         self.request_manager = RequestManager(self)
         self.deployment_manager = DeploymentManager(self, handler=handler)
         self.overlay = OverlayManager(self, group_size=group_size)
+        #: super-peer content digest (only populated while this site
+        #: holds the super-peer role; ``None`` when the feature is off)
+        self.digest: Optional[TypeDigest] = (
+            TypeDigest() if self.resolution.digests else None
+        )
+        if self.resolution.digests:
+            self.overlay.on_view_applied = self._on_view_applied
+            self.atr.on_local_registration = self._note_local_claims
+            self.adr.on_local_registration = self._note_local_claims
         from repro.glare.semantics import SemanticIndex
         from repro.glare.undeploy import Undeployer
         from repro.glare.wrapper import WrapperGenerator
@@ -496,6 +682,64 @@ class GlareRDMService(Service):
         """Textual content of a published deploy-file."""
         return self.gridftp.url_catalog.content(url)
 
+    # -- digest maintenance (ResolutionConfig.digests) ---------------------------------
+
+    def _on_view_applied(self, view: OverlayView) -> None:
+        """A new overlay view landed (election or takeover).
+
+        Super-peer: the digest resets to the new epoch — every claim
+        learned under the old grouping is invalid.  Member: push a full
+        (bulk) claim note so the super-peer can rebuild absence trust.
+        """
+        if self.digest is not None and view.role == "super-peer":
+            self.digest.reset(view.epoch)
+        if view.role == "peer" and view.super_peer and view.super_peer != self.node_name:
+            self.sim.process(
+                self._send_digest_note(full=True),
+                name=f"digest-note:{self.node_name}",
+            )
+
+    def _note_local_claims(self, type_name: str) -> None:
+        """Registration hook: piggyback new claims onto the digest.
+
+        Called synchronously by the colocated registries whenever a
+        type or deployment is registered authoritatively on this site.
+        """
+        claims = [type_name]
+        if self.atr.hierarchy.get(type_name) is not None:
+            claims.extend(self.atr.hierarchy.ancestors(type_name))
+        if self.digest is not None and self.overlay.is_super_peer:
+            # a super-peer consults its own registries before any
+            # fan-out, so only the negative cache needs clearing
+            for name in claims:
+                self.digest.clear_missing(name)
+            return
+        view = self.overlay.view
+        if view.role == "peer" and view.super_peer:
+            self.sim.process(
+                self._send_digest_note(full=False, claims=claims),
+                name=f"digest-note:{self.node_name}",
+            )
+
+    def _send_digest_note(self, full: bool,
+                          claims: Optional[List[str]] = None) -> Generator:
+        """Detached process: deliver a claim note to my super-peer."""
+        view = self.overlay.view
+        target = view.super_peer
+        if not target or target == self.node_name:
+            return
+        payload = {
+            "site": self.node_name,
+            "claims": claims if claims is not None
+            else self.request_manager.local_claims(),
+            "epoch": view.epoch,
+            "full": full,
+        }
+        try:
+            yield from self.rpc(target, "digest_note", payload, timeout=10.0)
+        except (OfflineError, RpcTimeout, GlareError):
+            pass  # best-effort: a lost note only costs digest coverage
+
     def start(self, monitors: bool = True) -> None:
         """Launch the RDM's background components."""
         if monitors:
@@ -510,6 +754,13 @@ class GlareRDMService(Service):
                 CacheRefresher(self),
                 DeploymentStatusMonitor(self),
             ):
+                if self.resolution.monitor_jitter:
+                    # deterministic per-(site, monitor) phase offset so
+                    # hundreds of loops don't tick in lockstep
+                    monitor.phase = self.sim.rng.uniform(
+                        f"monitor-jitter:{self.node_name}:{monitor.NAME}",
+                        0.0, monitor.interval,
+                    )
                 monitor.start()
                 self._monitors.append(monitor)
 
@@ -744,6 +995,20 @@ class GlareRDMService(Service):
         return [m.to_wire() for m in matches]
 
     # -- overlay operations (delegated) ------------------------------------------------
+
+    def op_digest_note(self, message: Message) -> Generator:
+        """A group member's claim note for this super-peer's digest."""
+        payload = message.payload
+        yield from self.compute(0.0005)
+        if self.digest is None or not self.overlay.is_super_peer:
+            return {"accepted": False}
+        self.digest.learn_member(
+            payload["site"],
+            payload.get("claims", []),
+            payload.get("epoch", -1),
+            payload.get("full", False),
+        )
+        return {"accepted": True}
 
     def op_election_notice(self, message: Message) -> Generator:
         yield from self.compute(0.001)

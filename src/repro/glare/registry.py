@@ -35,12 +35,31 @@ ATR_SERVICE = "activity-type-registry"
 ADR_SERVICE = "activity-deployment-registry"
 
 
+class WireDict(dict):
+    """A wire form plus denormalized metadata, sized as canonical XML.
+
+    The resolution path repeatedly needs just the ``site``/``name`` of
+    a candidate wire; carrying them alongside the XML saves a full
+    parse per consultation.  The metadata duplicates attributes already
+    inside the XML document, so the simulated message size — derived
+    from ``repr`` by :func:`repro.net.message.estimate_size` — must not
+    grow: ``__repr__`` covers only the canonical ``{"xml", "epr"}``
+    body, byte-identical to the plain dict this type replaces.
+    """
+
+    _CANONICAL = ("xml", "epr")
+
+    def __repr__(self) -> str:
+        return repr({key: self[key] for key in self._CANONICAL if key in self})
+
+
 def type_to_wire(activity_type: ActivityType, epr: EndpointReference) -> Dict[str, object]:
     """Serialize a type + its EPR for transport (cached wire form)."""
-    return {
-        "xml": activity_type.wire_xml(),
-        "epr": epr_to_wire(epr),
-    }
+    return WireDict(
+        xml=activity_type.wire_xml(),
+        epr=epr_to_wire(epr),
+        name=activity_type.name,
+    )
 
 
 def epr_to_wire(epr: EndpointReference) -> Dict[str, object]:
@@ -64,10 +83,25 @@ def epr_from_wire(wire: Dict[str, object]) -> EndpointReference:
 def deployment_to_wire(
     deployment: ActivityDeployment, epr: EndpointReference
 ) -> Dict[str, object]:
-    return {
-        "xml": deployment.wire_xml(),
-        "epr": epr_to_wire(epr),
-    }
+    return WireDict(
+        xml=deployment.wire_xml(),
+        epr=epr_to_wire(epr),
+        site=deployment.site,
+        type=deployment.type_name,
+        name=deployment.name,
+    )
+
+
+def wire_site(wire: Dict[str, object]) -> str:
+    """Site of a deployment wire without re-parsing the XML.
+
+    Falls back to ``from_xml`` for old-shape wires that predate the
+    denormalized metadata (e.g. persisted fixtures).
+    """
+    site = wire.get("site")
+    if site is None:
+        site = ActivityDeployment.from_xml(str(wire["xml"])).site
+    return str(site)
 
 
 class ActivityTypeRegistry(Service):
@@ -110,6 +144,10 @@ class ActivityTypeRegistry(Service):
         self.notifications = NotificationBroker(network, node_name)
         self.lookups = 0
         self.cache_hits = 0
+        #: optional hook called with the type name on every *local*
+        #: (authoritative) registration; the RDM uses it to piggyback
+        #: super-peer digest updates onto registrations
+        self.on_local_registration = None
 
     # -- local bookkeeping ---------------------------------------------------
 
@@ -139,6 +177,8 @@ class ActivityTypeRegistry(Service):
             {"event": "registered", "type": activity_type.name,
              "site": self.node_name},
         )
+        if self.on_local_registration is not None:
+            self.on_local_registration(activity_type.name)
         return resource
 
     def add_cached_type(
@@ -267,6 +307,22 @@ class ActivityTypeRegistry(Service):
         resource = self.home.lookup(name)
         return None if resource is None else resource.last_update_time
 
+    def op_get_lut_batch(self, message: Message) -> Generator:
+        """Batched LastUpdateTime: one RPC revalidates many entries.
+
+        Payload is a list of resource keys; the answer maps each key to
+        its LUT (or ``None`` when the resource is gone).  The marginal
+        per-key cost is a hash lookup, far below the fixed request cost
+        — which is exactly why the Cache Refresher batches.
+        """
+        keys = list(message.payload or [])
+        yield from self.compute(0.0008 + 0.0002 * max(0, len(keys) - 1))
+        luts: Dict[str, object] = {}
+        for key in keys:
+            resource = self.home.lookup(key)
+            luts[key] = None if resource is None else resource.last_update_time
+        return Response(value=luts, size=max(256, 40 * len(luts)))
+
     def op_remove_type(self, message: Message) -> Generator:
         name = message.payload
         yield from self.compute(self.lookup_demand)
@@ -348,6 +404,9 @@ class ActivityDeploymentRegistry(Service):
         self.aggregation = ServiceGroup(self.sim, name=f"adr:{node_name}")
         self.lookups = 0
         self.cache_hits = 0
+        #: optional hook called with the deployment's *type name* on
+        #: every local registration (digest piggyback, like the ATR's)
+        self.on_local_registration = None
 
     # -- local bookkeeping ---------------------------------------------------
 
@@ -391,6 +450,8 @@ class ActivityDeploymentRegistry(Service):
         keys = self.by_type.setdefault(deployment.type_name, [])
         if deployment.key not in keys:
             keys.append(deployment.key)
+        if self.on_local_registration is not None:
+            self.on_local_registration(deployment.type_name)
         return resource
 
     def add_cached_deployment(
@@ -543,6 +604,16 @@ class ActivityDeploymentRegistry(Service):
         yield from self.compute(0.0008)
         resource = self.home.lookup(key)
         return None if resource is None else resource.last_update_time
+
+    def op_get_lut_batch(self, message: Message) -> Generator:
+        """Batched LastUpdateTime over deployment keys (see the ATR's)."""
+        keys = list(message.payload or [])
+        yield from self.compute(0.0008 + 0.0002 * max(0, len(keys) - 1))
+        luts: Dict[str, object] = {}
+        for key in keys:
+            resource = self.home.lookup(key)
+            luts[key] = None if resource is None else resource.last_update_time
+        return Response(value=luts, size=max(256, 40 * len(luts)))
 
     def op_remove_deployment(self, message: Message) -> Generator:
         key = message.payload

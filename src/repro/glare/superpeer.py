@@ -91,6 +91,10 @@ class OverlayManager:
         self.elections_run = 0
         self.reelections = 0
         self._probe_proc = None
+        #: optional hook called with the new view whenever an
+        #: assignment (election or takeover) lands; the RDM uses it to
+        #: reset super-peer digests and push member claim notes
+        self.on_view_applied = None
 
     # -- identity helpers -----------------------------------------------------
 
@@ -263,6 +267,8 @@ class OverlayManager:
             epoch=payload.get("epoch", 0),
         )
         self._offers.clear()
+        if self.on_view_applied is not None:
+            self.on_view_applied(self.view)
 
     # -- failure detection -------------------------------------------------------------
 

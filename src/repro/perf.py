@@ -14,6 +14,10 @@ proven not to change any simulated-time result:
   point (named lookups, the hash-table fast path);
 * :func:`bench_index_queries` — a scaled-down Fig. 10 index point
   (XPath over the aggregated documents);
+* :func:`bench_resolution` / :func:`resolution_fingerprint` — a Fig. 14
+  point pair (broadcast baseline vs scaled resolution path) whose
+  deterministic simulated message counts gate the resolution walk via
+  ``BENCH_resolution.json``;
 * :func:`kernel_trace_fingerprint` / :func:`experiment_fingerprint` —
   deterministic digests of the seeded event trace and of end-to-end
   simulated outputs (byte totals, throughputs).  Two runs of the same
@@ -190,6 +194,119 @@ def bench_index_queries(
         details={"sim_throughput_rps": point.throughput,
                  "mean_response_ms": point.mean_response_ms},
     )
+
+
+# -- resolution-path benchmark (Fig. 14 machinery) -------------------------
+
+
+def bench_resolution(n_sites: int = 16, seed: int = 21) -> BenchResult:
+    """One Fig. 14 point pair: broadcast baseline vs scaled path.
+
+    The headline rate is wall-clock (resolutions simulated per wall
+    second, both series combined); the *simulated* message counts land
+    in ``details`` and are deterministic, so they double as a protocol
+    fingerprint for the resolution walk.
+    """
+    from repro.experiments.fig14 import run_fig14_point, run_revalidation_point
+
+    start = time.perf_counter()
+    base = run_fig14_point(n_sites, optimized=False, seed=seed)
+    opt = run_fig14_point(n_sites, optimized=True, seed=seed)
+    reval = run_revalidation_point()
+    wall = time.perf_counter() - start
+    resolutions = base.resolutions + opt.resolutions
+    return BenchResult(
+        name="resolution",
+        metric="sim_resolutions_per_wall_sec",
+        value=resolutions / wall,
+        wall_seconds=wall,
+        work_units=resolutions,
+        details={
+            "n_sites": n_sites,
+            "baseline_messages_per_resolution": base.messages_per_resolution,
+            "optimized_messages_per_resolution": opt.messages_per_resolution,
+            "message_ratio": (base.messages_per_resolution
+                              / max(opt.messages_per_resolution, 1e-9)),
+            "results_equal": base.result_digest == opt.result_digest,
+            "revalidation_per_entry_messages": reval.per_entry_messages,
+            "revalidation_batched_messages": reval.batched_messages,
+        },
+    )
+
+
+def resolution_fingerprint(n_sites: int = 16, seed: int = 21) -> Dict[str, Any]:
+    """Deterministic digest of the resolution walk's protocol cost.
+
+    Every figure here is simulated (message counts, result-set digest),
+    so two runs of the same tree must match exactly; the committed
+    ``BENCH_resolution.json`` pins them across refactors.
+    """
+    from repro.experiments.fig14 import run_fig14_point
+
+    base = run_fig14_point(n_sites, optimized=False, seed=seed)
+    opt = run_fig14_point(n_sites, optimized=True, seed=seed)
+    return {
+        "n_sites": n_sites,
+        "seed": seed,
+        "resolutions": base.resolutions,
+        "baseline_workload_messages": base.workload_messages,
+        "optimized_workload_messages": opt.workload_messages,
+        "baseline_result_digest": base.result_digest,
+        "optimized_result_digest": opt.result_digest,
+    }
+
+
+def resolution_suite(quick: bool = False) -> Dict[str, Any]:
+    """The ``BENCH_resolution.json`` payload (bench + fingerprint)."""
+    result = bench_resolution()
+    return {
+        "suite": "bench_resolution",
+        "mode": "quick" if quick else "full",
+        "results": {result.name: result.to_dict()},
+        "fingerprint": resolution_fingerprint(),
+    }
+
+
+def compare_resolution_baseline(
+    suite: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Gate the resolution walk against a committed baseline.
+
+    Simulated message counts are deterministic, so the
+    ``max_regression`` headroom only trips on real protocol changes: a
+    >25% rise in optimized messages-per-resolution fails, as does any
+    drift of the result-set digests (the optimizations must never
+    change what a resolution returns).
+    """
+    failures: List[str] = []
+    current = suite["results"].get("resolution", {}).get("details", {})
+    base = baseline.get("results", {}).get("resolution", {}).get("details", {})
+    if current and base:
+        for key in ("baseline_messages_per_resolution",
+                    "optimized_messages_per_resolution"):
+            if base.get(key, 0) <= 0:
+                continue
+            ratio = current.get(key, 0.0) / base[key]
+            if ratio > 1.0 + max_regression:
+                failures.append(
+                    f"resolution: {key} rose {(ratio - 1.0) * 100:.1f}% above "
+                    f"baseline ({current.get(key, 0.0):.1f} vs {base[key]:.1f})"
+                )
+        if not current.get("results_equal", False):
+            failures.append(
+                "resolution: optimized run returned different result sets "
+                "than the broadcast baseline"
+            )
+    fp, base_fp = suite.get("fingerprint", {}), baseline.get("fingerprint", {})
+    for key in ("baseline_result_digest", "optimized_result_digest"):
+        if base_fp.get(key) and fp.get(key) != base_fp.get(key):
+            failures.append(
+                f"resolution fingerprint drift: {key} changed "
+                f"({fp.get(key)} vs {base_fp.get(key)})"
+            )
+    return failures
 
 
 # -- determinism fingerprints ----------------------------------------------

@@ -19,6 +19,7 @@ from typing import Any, Dict, Generator, List, Optional, Union
 
 from repro.glare.lifecycle import LifecycleController
 from repro.glare.rdm import GlareRDMService, RDM_SERVICE
+from repro.glare.resolution import ResolutionConfig
 from repro.glare.registry import ActivityDeploymentRegistry, ActivityTypeRegistry
 from repro.gram.service import GramService
 from repro.gridarm.reservation import ReservationService
@@ -55,6 +56,9 @@ class VOConfig:
     lifecycle: bool = True
     site_prefix: str = "agrid"
     extra_site_attrs: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: resolution-path scaling switches (``None`` = everything off,
+    #: preserving the byte-identical baseline behaviour)
+    resolution: Optional[ResolutionConfig] = None
     #: tracing + metrics: ``False`` (default, zero-overhead null tracer),
     #: ``True`` (fresh enabled bundle), or a pre-built
     #: :class:`~repro.obs.Observability` instance
@@ -256,6 +260,7 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
             handler=config.handler,
             community_site=vo.community_site,
             group_size=config.group_size,
+            resolution=config.resolution,
         )
         if config.lifecycle:
             stack.lifecycle = LifecycleController(stack.rdm)
