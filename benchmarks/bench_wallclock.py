@@ -20,6 +20,8 @@ Usage::
     python benchmarks/bench_wallclock.py --resolution -o BENCH_resolution.json
     python benchmarks/bench_wallclock.py --resolution \
         --check-resolution BENCH_resolution.json
+    python benchmarks/bench_wallclock.py --provisioning \
+        --check-provisioning BENCH_provisioning.json
 
 ``--check-baseline`` enforces the two gates against a committed
 baseline file: rate metrics must not regress by more than
@@ -32,6 +34,12 @@ messages-per-resolution figures must stay within ``--max-regression``
 of the committed baseline and the result-set digests must match
 exactly (fingerprint drift = the optimizations changed what a
 resolution returns).
+
+``--provisioning`` runs the Fig. 15 rollout pair instead and
+emits/gates ``BENCH_provisioning.json``: the parallel/replica rollout
+must stay at least ``--min-speedup`` (default 3x) faster than the
+serial baseline, must not pull more origin bytes than the committed
+run, and the deployment-set digests must match exactly.
 
 Wall-clock rates vary across machines; the committed baseline is only
 a tripwire for large same-machine-family regressions, which is why the
@@ -98,6 +106,27 @@ def _print_resolution_summary(suite) -> None:
     )
 
 
+def _print_provisioning_summary(suite) -> None:
+    result = suite["results"]["provisioning"]
+    details = result["details"]
+    print(f"bench_provisioning ({suite['mode']}, {details['n_sites']} sites)")
+    print(
+        f"  provisioning {result['value']:>10,.0f} {result['metric']:<26s}"
+        f" ({result['wall_seconds']:.3f}s wall)"
+    )
+    print(
+        f"  rollout (sim s)  serial {details['baseline_rollout_elapsed']:.1f}"
+        f"  parallel {details['optimized_rollout_elapsed']:.1f}"
+        f"  ({details['rollout_speedup']:.1f}x, results "
+        f"{'equal' if details['results_equal'] else 'DIFFER'})"
+    )
+    print(
+        f"  origin bytes out  serial {details['baseline_origin_bytes_out'] / 1e6:.1f} MB"
+        f"  parallel {details['optimized_origin_bytes_out'] / 1e6:.1f} MB"
+        f"  ({details['replica_hits']} replica hits)"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -114,7 +143,33 @@ def main(argv=None) -> int:
                         help="run the Fig. 14 resolution-path pair instead")
     parser.add_argument("--check-resolution", metavar="PATH",
                         help="fail on message regression / result drift vs this file")
+    parser.add_argument("--provisioning", action="store_true",
+                        help="run the Fig. 15 rollout pair instead")
+    parser.add_argument("--check-provisioning", metavar="PATH",
+                        help="fail on speedup loss / deployment drift vs this file")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required parallel rollout speedup (default 3.0)")
     args = parser.parse_args(argv)
+
+    if args.provisioning or args.check_provisioning:
+        suite = perf.provisioning_suite(quick=args.quick)
+        _print_provisioning_summary(suite)
+        if args.output:
+            perf.dump_suite(suite, args.output)
+            print(f"wrote {args.output}")
+        if args.check_provisioning:
+            with open(args.check_provisioning) as handle:
+                baseline = json.load(handle)
+            failures = perf.compare_provisioning_baseline(
+                suite, baseline, min_speedup=args.min_speedup
+            )
+            if failures:
+                print("FAIL:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print(f"provisioning baseline check passed ({args.check_provisioning})")
+        return 0
 
     if args.resolution or args.check_resolution:
         suite = perf.resolution_suite(quick=args.quick)

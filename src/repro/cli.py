@@ -8,6 +8,7 @@ Usage::
     python -m repro fig12
     python -m repro fig13 [--quick]
     python -m repro fig14 [--quick]
+    python -m repro fig15 [--quick]
     python -m repro all [--quick]
     python -m repro trace [deploy|lookup|election] [--chrome-out FILE]
                           [--jsonl-out FILE]
@@ -91,6 +92,13 @@ def _run_fig13(quick: bool) -> str:
                                   sink_counts=counts, rates=rates))
 
 
+def _run_fig15(quick: bool) -> str:
+    from repro.experiments.fig15 import format_fig15, run_fig15
+
+    sizes = (8, 16) if quick else (8, 16, 32, 64)
+    return format_fig15(run_fig15(sizes=sizes))
+
+
 COMMANDS = {
     "table1": _run_table1,
     "fig10": _run_fig10,
@@ -98,6 +106,7 @@ COMMANDS = {
     "fig12": _run_fig12,
     "fig13": _run_fig13,
     "fig14": _run_fig14,
+    "fig15": _run_fig15,
 }
 
 #: scenario names accepted by the trace/metrics subcommands (mirrors

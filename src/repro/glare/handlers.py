@@ -233,7 +233,10 @@ class DeploymentHandler:
                         or attempt >= self.download_attempts
                     ):
                         raise
-                    # back off briefly and retry the data channel
+                    # back off briefly and retry the data channel;
+                    # retries are counted apart from the failures that
+                    # caused them (a burned final attempt retries nothing)
+                    self.gridftp.transfer_retries += 1
                     yield self.sim.timeout(0.5 * attempt)
             if self.download_slowdown > 0:
                 yield self.sim.timeout(

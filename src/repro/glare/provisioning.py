@@ -24,10 +24,14 @@ installation itself executes on the target through the target RDM's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
 from repro.glare.deployfile import parse_deployfile
-from repro.glare.errors import ConstraintViolation, DeploymentFailed
+from repro.glare.errors import (
+    ConstraintViolation,
+    DeploymentFailed,
+    InvalidTypeDescription,
+)
 from repro.glare.handlers import ExpectHandler, InstallReport, JavaCoGHandler
 from repro.glare.model import (
     ActivityDeployment,
@@ -39,12 +43,70 @@ from repro.glare.registry import deployment_to_wire, epr_from_wire, wire_site
 from repro.gridftp.service import TransferError
 from repro.net.network import RpcTimeout
 from repro.simkernel.errors import OfflineError
+from repro.simkernel.primitives import bounded_gather
+from repro.site.description import SiteDescription
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.glare.rdm import GlareRDMService
 
 #: cost of e-mailing the site administrator (Table 1 "Notification": 345 ms)
 NOTIFICATION_COST = 0.345
+
+
+@dataclass(frozen=True)
+class ProvisioningConfig:
+    """Opt-in switches scaling the provisioning pipeline.
+
+    Mirrors :class:`~repro.glare.resolution.ResolutionConfig`: every
+    switch defaults to *off* and the all-off configuration is
+    byte-identical to the serial baseline (pinned by the determinism
+    fingerprints), so each knob's cost/benefit can be measured in
+    isolation.  Thread through ``build_vo(provisioning=...)``.
+    """
+
+    #: probe candidate sites concurrently instead of one ``site_info``
+    #: RPC at a time
+    parallel_probe: bool = False
+    #: concurrent probes in flight when :attr:`parallel_probe` is on
+    probe_fanout: int = 8
+    #: seconds a probed SiteDescription stays fresh (0 = never cache);
+    #: static attributes barely change, so even a short TTL removes the
+    #: O(sites) re-probe from every deployment
+    site_info_ttl: float = 0.0
+    #: install independent dependencies of one type concurrently
+    parallel_dependencies: bool = False
+    #: concurrent installation legs of a :meth:`DeploymentManager.rollout`
+    rollout_fanout: int = 1
+    #: register verified downloads as catalog replicas and fetch from
+    #: the nearest live copy instead of always hitting origin
+    replica_transfers: bool = False
+    #: coalesce concurrent same-URL fetches on one site into a single
+    #: wide-area transfer
+    transfer_singleflight: bool = False
+
+    @classmethod
+    def all_on(cls, rollout_fanout: int = 8) -> "ProvisioningConfig":
+        """Every optimisation enabled (the fig15 'parallel' series)."""
+        return cls(
+            parallel_probe=True,
+            probe_fanout=8,
+            site_info_ttl=300.0,
+            parallel_dependencies=True,
+            rollout_fanout=rollout_fanout,
+            replica_transfers=True,
+            transfer_singleflight=True,
+        )
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.parallel_probe
+            or self.site_info_ttl > 0
+            or self.parallel_dependencies
+            or self.rollout_fanout > 1
+            or self.replica_transfers
+            or self.transfer_singleflight
+        )
 
 
 @dataclass
@@ -62,17 +124,29 @@ class ProvisioningStats:
 class DeploymentManager:
     """On-demand provisioning logic, hosted by one RDM service."""
 
-    def __init__(self, rdm: "GlareRDMService", handler: str = "expect") -> None:
+    def __init__(
+        self,
+        rdm: "GlareRDMService",
+        handler: str = "expect",
+        config: Optional[ProvisioningConfig] = None,
+    ) -> None:
         if handler not in ("expect", "javacog"):
             raise ValueError(f"unknown deployment handler {handler!r}")
         self.rdm = rdm
         self.handler_kind = handler
+        self.config = config if config is not None else ProvisioningConfig()
         self.stats = ProvisioningStats()
-        #: in-flight installations by type name: concurrent requests for
-        #: the same type piggyback on the first one instead of racing to
-        #: install duplicates (single-flight)
-        self._in_flight: Dict[str, object] = {}
+        #: in-flight installations keyed by (type, placement): concurrent
+        #: requests with the same placement intent piggyback on the first
+        #: one instead of racing to install duplicates (single-flight);
+        #: the placement part of the key keeps concurrent rollout legs —
+        #: same type, *different* target sites — from wrongly sharing
+        #: one installation
+        self._in_flight: Dict[tuple, object] = {}
         self.piggybacked = 0
+        #: probed SiteDescriptions by name: (probed_at, description)
+        self._site_cache: Dict[str, Tuple[float, SiteDescription]] = {}
+        self.probe_cache_hits = 0
 
     @property
     def sim(self):
@@ -97,9 +171,10 @@ class DeploymentManager:
                 f"dependency recursion too deep while deploying {activity_type.name!r}"
             )
         # single-flight: if the same type is already being installed by
-        # this site's deployment manager, wait for that result instead
-        # of installing a duplicate
-        pending = self._in_flight.get(activity_type.name)
+        # this site's deployment manager with the same placement intent,
+        # wait for that result instead of installing a duplicate
+        key = (activity_type.name, preferred_site, tuple(sorted(exclude_sites)))
+        pending = self._in_flight.get(key)
         if pending is not None:
             self.piggybacked += 1
             outcome = yield pending
@@ -109,7 +184,7 @@ class DeploymentManager:
                 f"concurrent installation of {activity_type.name!r} failed"
             )
         done_event = self.sim.event(name=f"install:{activity_type.name}")
-        self._in_flight[activity_type.name] = done_event
+        self._in_flight[key] = done_event
         try:
             with self.rdm.obs.tracer.span(
                 "deploy:on_demand", type=activity_type.name, depth=_depth
@@ -123,7 +198,7 @@ class DeploymentManager:
             done_event.succeed({"ok": False})
             raise
         finally:
-            self._in_flight.pop(activity_type.name, None)
+            self._in_flight.pop(key, None)
 
     def _deploy_on_demand_inner(
         self,
@@ -183,25 +258,11 @@ class DeploymentManager:
             names = yield from self.rdm.known_sites()
             if preferred_site:
                 names = [preferred_site] + [n for n in names if n != preferred_site]
+            descriptions = yield from self._probe_sites(names)
             candidates: List[str] = []
             for name in names:
-                try:
-                    info = yield from self.rdm.rpc(name, "site_info", None, timeout=8.0)
-                except (OfflineError, RpcTimeout):
-                    continue
-                from repro.site.description import SiteDescription
-
-                desc = SiteDescription(
-                    name=info["name"],
-                    platform=info["platform"],
-                    os=info["os"],
-                    arch=info["arch"],
-                    processor_speed_mhz=info["processor_speed_mhz"],
-                    memory_mb=info["memory_mb"],
-                    processors=info["processors"],
-                    extra=info.get("extra", {}),
-                )
-                if desc.satisfies(constraints):
+                desc = descriptions.get(name)
+                if desc is not None and desc.satisfies(constraints):
                     candidates.append(name)
             span.set_attr("considered", len(names))
             span.set_attr("candidates", len(candidates))
@@ -209,6 +270,61 @@ class DeploymentManager:
             self.sim.now - started
         )
         return candidates
+
+    def _probe_sites(self, names: List[str]) -> Generator:
+        """``site_info`` every site in ``names``; unreachable ones dropped.
+
+        Returns ``{name: SiteDescription}``.  With the TTL cache enabled
+        a fresh entry skips the RPC; with :attr:`ProvisioningConfig.
+        parallel_probe` the remaining probes run concurrently at most
+        ``probe_fanout`` at a time instead of serially.
+        """
+        cfg = self.config
+        descriptions: Dict[str, SiteDescription] = {}
+        missing: List[str] = []
+        for name in names:
+            cached = self._cached_description(name)
+            if cached is not None:
+                descriptions[name] = cached
+                self.probe_cache_hits += 1
+            else:
+                missing.append(name)
+        if cfg.parallel_probe and len(missing) > 1:
+            outcomes = yield from bounded_gather(
+                self.sim,
+                [(lambda n=name: self._probe_one(n)) for name in missing],
+                limit=cfg.probe_fanout,
+                name="probe",
+            )
+            for name, (ok, value) in zip(missing, outcomes):
+                if ok and value is not None:
+                    descriptions[name] = value
+        else:
+            for name in missing:
+                desc = yield from self._probe_one(name)
+                if desc is not None:
+                    descriptions[name] = desc
+        return descriptions
+
+    def _probe_one(self, name: str) -> Generator:
+        """One ``site_info`` RPC; ``None`` when the site is unreachable."""
+        try:
+            info = yield from self.rdm.rpc(name, "site_info", None, timeout=8.0)
+        except (OfflineError, RpcTimeout):
+            return None
+        desc = SiteDescription.from_info(info)
+        if self.config.site_info_ttl > 0:
+            self._site_cache[name] = (self.sim.now, desc)
+        return desc
+
+    def _cached_description(self, name: str) -> Optional[SiteDescription]:
+        ttl = self.config.site_info_ttl
+        if ttl <= 0:
+            return None
+        entry = self._site_cache.get(name)
+        if entry is not None and self.sim.now - entry[0] <= ttl:
+            return entry[1]
+        return None
 
     def _deploy_on(
         self, activity_type: ActivityType, target: str, depth: int
@@ -218,25 +334,30 @@ class DeploymentManager:
         assert spec is not None
         tracer = self.rdm.obs.tracer
         # Dependencies first — each must have a deployment on the target.
-        for dep_name in spec.dependencies:
-            with tracer.span("deploy:dependency", dependency=dep_name, target=target):
-                dep_wires = yield from self.rdm.rpc(
-                    target, "local_lookup", {"type": dep_name}
+        # Installations of *different* dependency types are independent
+        # (shared transitive dependencies still serialise through the
+        # single-flight gate), so with parallel_dependencies they all
+        # run at once under one barrier.
+        deps = list(spec.dependencies)
+        if self.config.parallel_dependencies and len(deps) > 1:
+            outcomes = yield from bounded_gather(
+                self.sim,
+                [
+                    (lambda d=dep: self._provision_dependency(
+                        activity_type, d, target, depth
+                    ))
+                    for dep in deps
+                ],
+                name=f"deps:{activity_type.name}",
+            )
+            for ok, value in outcomes:
+                if not ok:
+                    raise value  # first failure in declaration order
+        else:
+            for dep_name in deps:
+                yield from self._provision_dependency(
+                    activity_type, dep_name, target, depth
                 )
-                deployed_here = [
-                    w for w in dep_wires["deployments"] if wire_site(w) == target
-                ]
-                if deployed_here:
-                    continue
-                dep_type = yield from self.rdm.request_manager.discover_type(dep_name)
-                if dep_type is None:
-                    raise DeploymentFailed(
-                        f"dependency {dep_name!r} of {activity_type.name!r} is unknown"
-                    )
-                yield from self.deploy_on_demand(
-                    dep_type, preferred_site=target, _depth=depth + 1
-                )
-                self.stats.dependencies_installed += 1
 
         with tracer.span("deploy:install", target=target, type=activity_type.name):
             result = yield from self.rdm.rpc(
@@ -253,6 +374,107 @@ class DeploymentManager:
             deployment = ActivityDeployment.from_xml(wire["xml"])
             self.rdm.adr.add_cached_deployment(deployment, epr_from_wire(wire["epr"]))
         return result["deployments"]
+
+    def _provision_dependency(
+        self, activity_type: ActivityType, dep_name: str, target: str, depth: int
+    ) -> Generator:
+        """Ensure one dependency has a deployment on ``target``."""
+        tracer = self.rdm.obs.tracer
+        with tracer.span("deploy:dependency", dependency=dep_name, target=target):
+            dep_wires = yield from self.rdm.rpc(
+                target, "local_lookup", {"type": dep_name}
+            )
+            deployed_here = [
+                w for w in dep_wires["deployments"] if wire_site(w) == target
+            ]
+            if deployed_here:
+                return
+            dep_type = yield from self.rdm.request_manager.discover_type(dep_name)
+            if dep_type is None:
+                raise DeploymentFailed(
+                    f"dependency {dep_name!r} of {activity_type.name!r} is unknown"
+                )
+            yield from self.deploy_on_demand(
+                dep_type, preferred_site=target, _depth=depth + 1
+            )
+            self.stats.dependencies_installed += 1
+
+    # -- rollout ------------------------------------------------------------
+
+    def rollout(
+        self,
+        activity_type: ActivityType,
+        target_sites: Optional[List[str]] = None,
+        fanout: Optional[int] = None,
+    ) -> Generator:
+        """Deploy ``activity_type`` on *every* matching site.
+
+        The bulk-provisioning shape the on-demand path cannot express:
+        one type pushed to N sites with bounded parallelism
+        (``fanout``, defaulting to :attr:`ProvisioningConfig.
+        rollout_fanout`; 1 = fully serial).  ``target_sites`` overrides
+        candidate selection.  Per-site failures are reported, not
+        raised — a rollout is best-effort across the fleet.
+
+        Returns ``{"type":, "results": [{"site":, "status": "installed"
+        | "present" | "failed", "deployments": [...], "error":}, ...]}``
+        in target order.
+        """
+        if not activity_type.is_concrete or activity_type.installation is None:
+            raise DeploymentFailed(
+                f"type {activity_type.name!r} has no installation procedure"
+            )
+        spec = activity_type.installation
+        if spec.mode == "manual":
+            raise DeploymentFailed(
+                f"type {activity_type.name!r} is manual-install only"
+            )
+        width = fanout if fanout is not None else self.config.rollout_fanout
+        if target_sites is None:
+            targets = yield from self._candidate_sites(spec.constraints, None)
+        else:
+            targets = list(target_sites)
+        with self.rdm.obs.tracer.span(
+            "deploy:rollout", type=activity_type.name, targets=len(targets),
+            fanout=width,
+        ):
+            outcomes = yield from bounded_gather(
+                self.sim,
+                [
+                    (lambda t=target: self._rollout_leg(activity_type, t))
+                    for target in targets
+                ],
+                limit=width,
+                name=f"rollout:{activity_type.name}",
+            )
+        results: List[Dict[str, object]] = []
+        for target, (ok, value) in zip(targets, outcomes):
+            if ok:
+                results.append(value)
+            else:
+                self.stats.installs_failed += 1
+                results.append(
+                    {"site": target, "status": "failed", "error": str(value),
+                     "deployments": []}
+                )
+        return {"type": activity_type.name, "results": results}
+
+    def _rollout_leg(self, activity_type: ActivityType, target: str) -> Generator:
+        """One rollout target: skip if present, else install there."""
+        wires = yield from self.rdm.rpc(
+            target, "local_lookup", {"type": activity_type.name}
+        )
+        deployed_here = [
+            w for w in wires["deployments"] if wire_site(w) == target
+        ]
+        if deployed_here:
+            return {"site": target, "status": "present", "error": "",
+                    "deployments": deployed_here}
+        self.stats.installs_attempted += 1
+        new_wires = yield from self._deploy_on(activity_type, target, 0)
+        self.stats.installs_succeeded += 1
+        return {"site": target, "status": "installed", "error": "",
+                "deployments": new_wires}
 
     # -- target side (runs under op_deploy on the target's RDM) ----------------------
 
@@ -297,7 +519,7 @@ class DeploymentManager:
                 )
             recipe_xml = self.rdm.deployfile_source(spec.deploy_file_url)
             recipe = parse_deployfile(recipe_xml)
-        except (TransferError, Exception) as error:
+        except (TransferError, InvalidTypeDescription, OfflineError, RpcTimeout) as error:
             return {
                 "success": False,
                 "error": f"deploy-file unavailable: {error}",

@@ -29,7 +29,7 @@ from repro.glare.model import (
     InstallationSpec,
     TypeKind,
 )
-from repro.glare.provisioning import DeploymentManager
+from repro.glare.provisioning import DeploymentManager, ProvisioningConfig
 from repro.glare.registry import (
     ActivityDeploymentRegistry,
     ActivityTypeRegistry,
@@ -603,6 +603,7 @@ class GlareRDMService(Service):
         group_size: int = 3,
         request_demand: float = 0.002,
         resolution: Optional[ResolutionConfig] = None,
+        provisioning: Optional[ProvisioningConfig] = None,
     ) -> None:
         super().__init__(network, site.name)
         self.site = site
@@ -613,9 +614,14 @@ class GlareRDMService(Service):
         self.community_index_service = community_index_service
         self.request_demand = request_demand
         self.resolution = resolution if resolution is not None else ResolutionConfig()
+        self.provisioning = (
+            provisioning if provisioning is not None else ProvisioningConfig()
+        )
 
         self.request_manager = RequestManager(self)
-        self.deployment_manager = DeploymentManager(self, handler=handler)
+        self.deployment_manager = DeploymentManager(
+            self, handler=handler, config=self.provisioning
+        )
         self.overlay = OverlayManager(self, group_size=group_size)
         #: super-peer content digest (only populated while this site
         #: holds the super-peer role; ``None`` when the feature is off)
@@ -858,6 +864,22 @@ class GlareRDMService(Service):
             activity_type,
             requester=payload.get("requester", message.src),
             handler_kind=payload.get("handler", self.deployment_manager.handler_kind),
+        )
+        return result
+
+    def op_rollout(self, message: Message) -> Generator:
+        """Bulk provisioning: deploy one type on every matching site.
+
+        Payload: {'type_xml':, 'target_sites': optional [...],
+        'fanout': optional int}.
+        """
+        payload = message.payload
+        activity_type = ActivityType.from_xml(payload["type_xml"])
+        yield from self.compute(self.request_demand)
+        result = yield from self.deployment_manager.rollout(
+            activity_type,
+            target_sites=payload.get("target_sites"),
+            fanout=payload.get("fanout"),
         )
         return result
 

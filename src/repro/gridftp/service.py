@@ -10,6 +10,13 @@ URLs: deploy-files reference archives by URL (paper Fig. 9 downloads
 ``povlinux-3.6.tgz`` from www.povray.org).  A :class:`UrlCatalog` maps
 URLs onto (hosting site, path) pairs, so "the internet" is itself a set
 of simulated hosts — typically a well-connected ``origin`` node.
+
+Replica-aware mode (:class:`~repro.glare.provisioning.ProvisioningConfig`,
+off by default): every verified ``fetch_url`` registers its destination
+as a replica in the catalog, later fetches pull from the nearest live
+location (topology latency/bandwidth, least-loaded tie-break) instead
+of always hitting origin, and a per-site singleflight collapses
+concurrent fetches of the same URL into one wide-area transfer.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.net.message import Message, Response
 from repro.net.service import Service
+from repro.simkernel.errors import OfflineError
 from repro.site.filesystem import Filesystem, FilesystemError
 
 
@@ -54,6 +62,10 @@ class UrlCatalog:
 
     entries: Dict[str, Tuple[str, str]] = field(default_factory=dict)
     contents: Dict[str, str] = field(default_factory=dict)
+    #: URL -> additional (site, path) copies, in registration order
+    replicas: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    #: site -> transfers it is currently sourcing (replica load tie-break)
+    serving: Dict[str, int] = field(default_factory=dict)
 
     def publish(self, url: str, site: str, path: str, content: Optional[str] = None) -> None:
         """Make ``url`` resolvable to a file hosted on ``site``."""
@@ -66,6 +78,27 @@ class UrlCatalog:
             return self.entries[url]
         except KeyError:
             raise TransferError(f"unresolvable URL: {url}")
+
+    def add_replica(self, url: str, site: str, path: str) -> None:
+        """Record a verified copy of ``url`` living at ``site:path``."""
+        if url not in self.entries or self.entries[url] == (site, path):
+            return
+        locations = self.replicas.setdefault(url, [])
+        if (site, path) not in locations:
+            locations.append((site, path))
+
+    def discard_replica(self, url: str, site: str) -> None:
+        """Forget every replica of ``url`` hosted on ``site``."""
+        locations = self.replicas.get(url)
+        if locations is not None:
+            locations[:] = [loc for loc in locations if loc[0] != site]
+            if not locations:
+                del self.replicas[url]
+
+    def locations(self, url: str) -> List[Tuple[str, str]]:
+        """Every known copy of ``url``: origin first, then replicas."""
+        origin = self.resolve(url)
+        return [origin] + [loc for loc in self.replicas.get(url, ()) if loc != origin]
 
     def content(self, url: str) -> str:
         try:
@@ -89,6 +122,14 @@ class GridFtpService(Service):
         Probability that any single transfer attempt fails transiently
         (connection reset, data-channel timeout).  Used by the fault
         injection tests; zero in normal operation.
+    replica_transfers:
+        ``fetch_url`` registers verified downloads as catalog replicas
+        and pulls from the nearest live copy instead of always hitting
+        origin.  Off by default (baseline behaviour is byte-identical).
+    transfer_singleflight:
+        Concurrent ``fetch_url`` calls for the same URL on this site
+        share one wide-area transfer; followers take a local copy once
+        the leader's download lands.  Off by default.
     """
 
     SERVICE_NAME = "gridftp"
@@ -101,15 +142,28 @@ class GridFtpService(Service):
         setup_cost: float = 0.3,
         url_catalog: Optional[UrlCatalog] = None,
         failure_rate: float = 0.0,
+        replica_transfers: bool = False,
+        transfer_singleflight: bool = False,
     ) -> None:
         super().__init__(network, node_name)
         self.fs = fs
         self.setup_cost = setup_cost
         self.url_catalog = url_catalog or UrlCatalog()
         self.failure_rate = failure_rate
+        self.replica_transfers = replica_transfers
+        self.transfer_singleflight = transfer_singleflight
         self.transfers: List[TransferRecord] = []
         self.bytes_moved = 0
         self.transient_failures = 0
+        #: re-attempts after a transient failure (charged by the
+        #: handlers' retry loop; distinct from the failures themselves)
+        self.transfer_retries = 0
+        #: fetch_url calls served from a non-origin location
+        self.replica_hits = 0
+        #: fetch_url calls that piggybacked on an in-flight download
+        self.url_singleflight_joined = 0
+        #: in-flight fetch_url downloads by URL (singleflight)
+        self._inflight_urls: Dict[str, object] = {}
 
     # -- remote operations ----------------------------------------------------
 
@@ -181,7 +235,9 @@ class GridFtpService(Service):
         """The untraced transfer body (see :meth:`fetch`)."""
         start = self.sim.now
         if self.failure_rate > 0 and (
-            self.sim.rng.uniform(f"gridftp-fail:{self.node_name}", 0.0, 1.0)
+            # keyed per source path so fault-injection draws for one
+            # transfer never perturb another's
+            self.sim.rng.uniform(f"gridftp-fail:{self.node_name}:{src_path}", 0.0, 1.0)
             < self.failure_rate
         ):
             # transient data-channel failure after the setup handshake
@@ -229,11 +285,118 @@ class GridFtpService(Service):
         return entry
 
     def fetch_url(self, url: str, dst_path: str, expected_md5: str = "") -> Generator:
-        """Resolve ``url`` through the catalog and fetch it locally."""
-        site, path = self.url_catalog.resolve(url)
-        entry = yield from self.fetch(site, path, dst_path, expected_md5=expected_md5)
-        entry.source_url = url
+        """Resolve ``url`` through the catalog and fetch it locally.
+
+        With :attr:`transfer_singleflight` on, concurrent fetches of the
+        same URL on this site coalesce into one download; with
+        :attr:`replica_transfers` on, the source is the nearest live
+        copy rather than always the origin host.
+        """
+        if self.transfer_singleflight:
+            entry = yield from self._fetch_url_coalesced(url, dst_path, expected_md5)
+        else:
+            entry = yield from self._fetch_url_once(url, dst_path, expected_md5)
         return entry
+
+    def _fetch_url_once(self, url: str, dst_path: str, expected_md5: str = "") -> Generator:
+        """One URL download (replica-aware when enabled)."""
+        if not self.replica_transfers:
+            site, path = self.url_catalog.resolve(url)
+            entry = yield from self.fetch(site, path, dst_path, expected_md5=expected_md5)
+            entry.source_url = url
+            return entry
+        catalog = self.url_catalog
+        origin = catalog.resolve(url)
+        source = self._select_source(url, origin)
+        catalog.serving[source[0]] = catalog.serving.get(source[0], 0) + 1
+        try:
+            try:
+                entry = yield from self.fetch(
+                    source[0], source[1], dst_path, expected_md5=expected_md5
+                )
+            except (TransferError, OfflineError):
+                if source == origin:
+                    raise
+                # a stale replica (deleted file, offline host, bad
+                # checksum) must never lose the fetch: drop it and pull
+                # from origin
+                catalog.discard_replica(url, source[0])
+                entry = yield from self.fetch(
+                    origin[0], origin[1], dst_path, expected_md5=expected_md5
+                )
+        finally:
+            catalog.serving[source[0]] -= 1
+            if catalog.serving[source[0]] <= 0:
+                del catalog.serving[source[0]]
+        entry.source_url = url
+        # the download verified (md5-checked when the caller supplied a
+        # digest): this site is now a replica for later fetches
+        catalog.add_replica(url, self.node_name, dst_path)
+        return entry
+
+    def _select_source(self, url: str, origin: Tuple[str, str]) -> Tuple[str, str]:
+        """Nearest live copy of ``url``: topology rank, load tie-break."""
+        catalog = self.url_catalog
+        candidates: Dict[str, str] = {origin[0]: origin[1]}
+        for site, path in catalog.replicas.get(url, ()):
+            candidates.setdefault(site, path)
+        if len(candidates) > 1:
+            live = [
+                site for site in candidates
+                if site == self.node_name or self._source_online(site)
+            ]
+            ranked = self.network.topology.rank_sources(self.node_name, live)
+            if ranked:
+                best_latency, best_bandwidth = ranked[0][1], ranked[0][2]
+                tied = [
+                    site for site, latency, bandwidth in ranked
+                    if latency == best_latency and bandwidth == best_bandwidth
+                ]
+                chosen = min(tied, key=lambda s: (catalog.serving.get(s, 0), s))
+                if (chosen, candidates[chosen]) != origin:
+                    self.replica_hits += 1
+                return chosen, candidates[chosen]
+        return origin
+
+    def _source_online(self, site: str) -> bool:
+        try:
+            return self.network.is_online(site)
+        except ValueError:
+            return False
+
+    def _fetch_url_coalesced(self, url: str, dst_path: str,
+                             expected_md5: str = "") -> Generator:
+        """Per-site singleflight gate in front of :meth:`_fetch_url_once`.
+
+        The first fetch of a URL leads; concurrent fetches of the same
+        URL wait for it and then copy the leader's file locally (setup
+        cost only, no wide-area transfer).  A failed leader is not
+        shared — each follower falls back to its own download.
+        """
+        pending = self._inflight_urls.get(url)
+        if pending is not None:
+            self.url_singleflight_joined += 1
+            outcome = yield pending
+            if isinstance(outcome, dict) and outcome.get("ok"):
+                entry = yield from self.fetch(
+                    self.node_name, outcome["path"], dst_path,
+                    expected_md5=expected_md5,
+                )
+                entry.source_url = url
+                return entry
+            entry = yield from self._fetch_url_once(url, dst_path, expected_md5)
+            return entry
+        done_event = self.sim.event(name=f"fetch-url:{url}")
+        self._inflight_urls[url] = done_event
+        try:
+            entry = yield from self._fetch_url_once(url, dst_path, expected_md5)
+            done_event.succeed({"ok": True, "path": entry.path})
+            return entry
+        except BaseException:
+            done_event.succeed({"ok": False})
+            raise
+        finally:
+            self._inflight_urls.pop(url, None)
 
 
 def install_gridftp(network, sites, url_catalog: Optional[UrlCatalog] = None,

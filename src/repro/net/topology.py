@@ -113,6 +113,26 @@ class Topology:
         self._path_cache[(dst, src)] = (latency, bandwidth)
         return (latency, bandwidth)
 
+    def rank_sources(self, dst: str, sources: Iterable[str]) -> List[Tuple[str, float, float]]:
+        """Order candidate ``sources`` by proximity to ``dst``, best first.
+
+        Returns ``(site, latency, bandwidth)`` triples sorted by (path
+        latency ascending, bottleneck bandwidth descending, name) — the
+        replica-selection rule: prefer the source the bytes reach
+        ``dst`` from fastest, with a deterministic tie-break.  Callers
+        that track dynamic load (GridFTP replica selection) break the
+        remaining ties themselves.  Unreachable sources are dropped.
+        """
+        ranked: List[Tuple[float, float, str]] = []
+        for source in sources:
+            try:
+                latency, bandwidth = self.path_metrics(source, dst)
+            except ValueError:
+                continue
+            ranked.append((latency, -bandwidth, source))
+        ranked.sort()
+        return [(name, latency, -neg_bw) for latency, neg_bw, name in ranked]
+
     # -- convenience builders -------------------------------------------
 
     @classmethod

@@ -18,6 +18,11 @@ proven not to change any simulated-time result:
   point pair (broadcast baseline vs scaled resolution path) whose
   deterministic simulated message counts gate the resolution walk via
   ``BENCH_resolution.json``;
+* :func:`bench_provisioning` / :func:`provisioning_fingerprint` — a
+  Fig. 15 point pair (serial origin-only rollout vs parallel +
+  replica-aware transfers) whose deterministic simulated rollout times
+  and byte counts gate the provisioning pipeline via
+  ``BENCH_provisioning.json``;
 * :func:`kernel_trace_fingerprint` / :func:`experiment_fingerprint` —
   deterministic digests of the seeded event trace and of end-to-end
   simulated outputs (byte totals, throughputs).  Two runs of the same
@@ -304,6 +309,128 @@ def compare_resolution_baseline(
         if base_fp.get(key) and fp.get(key) != base_fp.get(key):
             failures.append(
                 f"resolution fingerprint drift: {key} changed "
+                f"({fp.get(key)} vs {base_fp.get(key)})"
+            )
+    return failures
+
+
+# -- provisioning-path benchmark (Fig. 15 machinery) -----------------------
+
+
+def bench_provisioning(n_sites: int = 16, seed: int = 29) -> BenchResult:
+    """One Fig. 15 point pair: serial origin-only vs parallel/replica.
+
+    The headline rate is wall-clock (installations simulated per wall
+    second, both series combined); the *simulated* rollout elapsed
+    times and origin byte counts land in ``details`` and are
+    deterministic, so they double as a protocol fingerprint for the
+    provisioning pipeline.
+    """
+    from repro.experiments.fig15 import run_fig15_point
+
+    start = time.perf_counter()
+    base = run_fig15_point(n_sites, optimized=False, seed=seed)
+    opt = run_fig15_point(n_sites, optimized=True, seed=seed)
+    wall = time.perf_counter() - start
+    installs = base.installed + opt.installed
+    return BenchResult(
+        name="provisioning",
+        metric="sim_installs_per_wall_sec",
+        value=installs / wall,
+        wall_seconds=wall,
+        work_units=installs,
+        details={
+            "n_sites": n_sites,
+            "baseline_rollout_elapsed": base.rollout_elapsed,
+            "optimized_rollout_elapsed": opt.rollout_elapsed,
+            "rollout_speedup": (base.rollout_elapsed
+                                / max(opt.rollout_elapsed, 1e-9)),
+            "baseline_origin_bytes_out": base.origin_bytes_out,
+            "optimized_origin_bytes_out": opt.origin_bytes_out,
+            "replica_hits": opt.replica_hits,
+            "results_equal": base.result_digest == opt.result_digest,
+        },
+    )
+
+
+def provisioning_fingerprint(n_sites: int = 16, seed: int = 29) -> Dict[str, Any]:
+    """Deterministic digest of the rollout pipeline's behaviour.
+
+    Every figure here is simulated (elapsed rollout time, message and
+    byte counts, deployment-set digest), so two runs of the same tree
+    must match exactly; the committed ``BENCH_provisioning.json`` pins
+    them across refactors.
+    """
+    from repro.experiments.fig15 import run_fig15_point
+
+    base = run_fig15_point(n_sites, optimized=False, seed=seed)
+    opt = run_fig15_point(n_sites, optimized=True, seed=seed)
+    return {
+        "n_sites": n_sites,
+        "seed": seed,
+        "installed": base.installed,
+        "baseline_rollout_elapsed": repr(base.rollout_elapsed),
+        "optimized_rollout_elapsed": repr(opt.rollout_elapsed),
+        "baseline_messages": base.messages,
+        "optimized_messages": opt.messages,
+        "baseline_origin_bytes_out": base.origin_bytes_out,
+        "optimized_origin_bytes_out": opt.origin_bytes_out,
+        "baseline_result_digest": base.result_digest,
+        "optimized_result_digest": opt.result_digest,
+    }
+
+
+def provisioning_suite(quick: bool = False) -> Dict[str, Any]:
+    """The ``BENCH_provisioning.json`` payload (bench + fingerprint)."""
+    result = bench_provisioning()
+    return {
+        "suite": "bench_provisioning",
+        "mode": "quick" if quick else "full",
+        "results": {result.name: result.to_dict()},
+        "fingerprint": provisioning_fingerprint(),
+    }
+
+
+def compare_provisioning_baseline(
+    suite: Dict[str, Any],
+    baseline: Dict[str, Any],
+    min_speedup: float = 3.0,
+) -> List[str]:
+    """Gate the provisioning pipeline against a committed baseline.
+
+    Simulated rollout times are deterministic, so the checks only trip
+    on real pipeline changes: the parallel/replica rollout must stay at
+    least ``min_speedup`` times faster than the serial baseline, the
+    optimized series must never pull more origin bytes than the
+    committed run, and the deployment-set digests must not drift (the
+    optimizations must never change what a rollout installs).
+    """
+    failures: List[str] = []
+    current = suite["results"].get("provisioning", {}).get("details", {})
+    if current:
+        speedup = current.get("rollout_speedup", 0.0)
+        if speedup < min_speedup:
+            failures.append(
+                f"provisioning: rollout speedup {speedup:.2f}x fell below "
+                f"the required {min_speedup:.1f}x"
+            )
+        if not current.get("results_equal", False):
+            failures.append(
+                "provisioning: parallel rollout installed different "
+                "deployment sets than the serial baseline"
+            )
+    fp, base_fp = suite.get("fingerprint", {}), baseline.get("fingerprint", {})
+    base_origin = base_fp.get("optimized_origin_bytes_out", 0)
+    if base_origin and fp.get("optimized_origin_bytes_out", 0) > base_origin:
+        failures.append(
+            "provisioning: optimized rollout pulled more origin bytes than "
+            f"the committed baseline ({fp.get('optimized_origin_bytes_out')} "
+            f"vs {base_origin})"
+        )
+    for key in ("baseline_result_digest", "optimized_result_digest"):
+        if base_fp.get(key) and fp.get(key) != base_fp.get(key):
+            failures.append(
+                f"provisioning fingerprint drift: {key} changed "
                 f"({fp.get(key)} vs {base_fp.get(key)})"
             )
     return failures

@@ -35,7 +35,13 @@ from repro.simkernel.errors import Interrupt, SimulationError, StopProcess
 from repro.simkernel.events import AllOf, AnyOf, Event, Timeout
 from repro.simkernel.kernel import Simulator
 from repro.simkernel.process import Process
-from repro.simkernel.primitives import Container, PriorityStore, Resource, Store
+from repro.simkernel.primitives import (
+    Container,
+    PriorityStore,
+    Resource,
+    Store,
+    bounded_gather,
+)
 from repro.simkernel.cpu import CPU, LoadAverage
 from repro.simkernel.rng import RngRegistry
 
@@ -44,6 +50,7 @@ __all__ = [
     "AnyOf",
     "CPU",
     "Container",
+    "bounded_gather",
     "Event",
     "Interrupt",
     "LoadAverage",

@@ -6,7 +6,9 @@ These model the shared structures the Grid substrate is built from:
 * :class:`PriorityStore` — like a store but get() returns smallest item;
 * :class:`Resource` — ``capacity`` interchangeable servers with a FIFO
   wait queue (worker pools, CPU cores at the RPC level);
-* :class:`Container` — a continuous quantity (disk space, heap bytes).
+* :class:`Container` — a continuous quantity (disk space, heap bytes);
+* :func:`bounded_gather` — run sub-generators concurrently with a
+  fan-out bound, collecting per-item outcomes in input order.
 
 All follow the same pattern: ``put``/``get``/``request`` return events
 that a process yields; the primitive fires them as capacity allows.
@@ -16,12 +18,57 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Any, Deque, List, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, List, Sequence, Tuple
 
 from repro.simkernel.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simkernel.kernel import Simulator
+
+
+def bounded_gather(
+    sim: "Simulator",
+    factories: Sequence[Callable[[], Generator]],
+    limit: int = 0,
+    name: str = "gather",
+) -> Generator:
+    """Run generator ``factories`` concurrently, at most ``limit`` at once.
+
+    A sub-generator (``outcomes = yield from bounded_gather(...)``) that
+    starts each factory's generator in its own process and waits for all
+    of them.  ``limit <= 0`` means unbounded fan-out; otherwise a fixed
+    pool of ``limit`` worker processes pulls the remaining items in
+    input order, so item *k* never starts before item *k - limit* has a
+    worker free — the deterministic bounded-parallelism shape used by
+    candidate probing and rollouts.
+
+    Returns a list of ``(ok, value)`` pairs in input order: ``(True,
+    result)`` for items that returned, ``(False, exception)`` for items
+    that raised.  Failures never crash the gathering process; callers
+    decide how to surface them.
+    """
+    factories = list(factories)
+    if not factories:
+        return []
+    outcomes: List[Tuple[bool, Any]] = [(False, None)] * len(factories)
+
+    def run_one(index: int) -> Generator:
+        try:
+            value = yield from factories[index]()
+            outcomes[index] = (True, value)
+        except Exception as error:
+            outcomes[index] = (False, error)
+
+    pending: Deque[int] = deque(range(len(factories)))
+
+    def worker() -> Generator:
+        while pending:
+            yield from run_one(pending.popleft())
+
+    width = len(factories) if limit <= 0 else min(limit, len(factories))
+    procs = [sim.process(worker(), name=f"{name}-{slot}") for slot in range(width)]
+    yield sim.all_of(procs)
+    return outcomes
 
 
 class StorePut(Event):

@@ -43,6 +43,25 @@ class SiteDescription:
         if self.processor_speed_mhz <= 0 or self.memory_mb <= 0:
             raise ValueError("speed and memory must be positive")
 
+    @classmethod
+    def from_info(cls, info: Dict) -> "SiteDescription":
+        """Rebuild a description from a ``site_info`` RPC payload.
+
+        The RDM's ``op_site_info`` emits exactly these keys; this is the
+        shared decoder used by candidate probing and the provisioning
+        site-description cache.
+        """
+        return cls(
+            name=info["name"],
+            platform=info["platform"],
+            os=info["os"],
+            arch=info["arch"],
+            processor_speed_mhz=info["processor_speed_mhz"],
+            memory_mb=info["memory_mb"],
+            processors=info["processors"],
+            extra=dict(info.get("extra", {})),
+        )
+
     def canonical_string(self) -> str:
         """Stable serialization of the rank-relevant static attributes."""
         return "|".join(

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Union
 
 from repro.glare.lifecycle import LifecycleController
+from repro.glare.provisioning import ProvisioningConfig
 from repro.glare.rdm import GlareRDMService, RDM_SERVICE
 from repro.glare.resolution import ResolutionConfig
 from repro.glare.registry import ActivityDeploymentRegistry, ActivityTypeRegistry
@@ -59,6 +60,13 @@ class VOConfig:
     #: resolution-path scaling switches (``None`` = everything off,
     #: preserving the byte-identical baseline behaviour)
     resolution: Optional[ResolutionConfig] = None
+    #: provisioning-path scaling switches (``None`` = everything off,
+    #: preserving the byte-identical baseline behaviour)
+    provisioning: Optional[ProvisioningConfig] = None
+    #: model fair-share bandwidth contention on shared links; off by
+    #: default (the baseline charges every transfer the full bottleneck
+    #: bandwidth regardless of concurrency)
+    contention: bool = False
     #: tracing + metrics: ``False`` (default, zero-overhead null tracer),
     #: ``True`` (fresh enabled bundle), or a pre-built
     #: :class:`~repro.obs.Observability` instance
@@ -102,7 +110,8 @@ class VirtualOrganization:
                 sample_interval=config.sample_interval,
             )
         self.network = Network(
-            self.sim, self.topology, security=security, obs=self.obs
+            self.sim, self.topology, security=security, obs=self.obs,
+            contention=config.contention,
         )
         self.url_catalog = UrlCatalog()
         self.stacks: Dict[str, SiteStack] = {}
@@ -214,6 +223,7 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
         raise ValueError("a VO needs at least one site")
 
     vo = VirtualOrganization(config)
+    provisioning = config.provisioning or ProvisioningConfig()
     names = [f"{config.site_prefix}{i:02d}" for i in range(config.n_sites)]
     vo.community_site = names[0]
 
@@ -246,6 +256,8 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
         stack.gridftp = GridFtpService(
             vo.network, name, fs=site.fs,
             setup_cost=config.gridftp_setup, url_catalog=vo.url_catalog,
+            replica_transfers=provisioning.replica_transfers,
+            transfer_singleflight=provisioning.transfer_singleflight,
         )
         stack.gram = GramService(vo.network, name, submission_overhead=config.gram_overhead)
         stack.atr = ActivityTypeRegistry(
@@ -261,6 +273,7 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
             community_site=vo.community_site,
             group_size=config.group_size,
             resolution=config.resolution,
+            provisioning=config.provisioning,
         )
         if config.lifecycle:
             stack.lifecycle = LifecycleController(stack.rdm)

@@ -67,12 +67,16 @@ class TestTransientFailures:
         assert not report.success
         assert "transient" in report.error
         assert gridftp.transient_failures == 3  # all attempts burned
+        # retries are counted apart from the failures: 3 failed
+        # attempts means only 2 re-attempts were ever made
+        assert gridftp.transfer_retries == 2
 
     def test_zero_failure_rate_never_retries(self):
         sim, target, gridftp = make_world(failure_rate=0.0)
         report = run_install(sim, target, gridftp)
         assert report.success
         assert gridftp.transient_failures == 0
+        assert gridftp.transfer_retries == 0
         assert len(gridftp.transfers) == 1
 
     def test_retries_are_deterministic_per_seed(self):
@@ -97,3 +101,13 @@ class TestTransientFailures:
         sim.run(until=proc)
         assert proc.value == "failed-once"
         assert gridftp.transient_failures == 1
+        assert gridftp.transfer_retries == 0
+
+    def test_failure_draws_keyed_per_source_path(self):
+        """Fault draws for one transfer never perturb another's."""
+        sim, target, gridftp = make_world(failure_rate=0.5, seed=11)
+        draws = [
+            sim.rng.uniform(f"gridftp-fail:target:/www/{n}.tgz", 0.0, 1.0)
+            for n in ("a", "b")
+        ]
+        assert draws[0] != draws[1]

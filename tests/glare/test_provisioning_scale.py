@@ -1,0 +1,381 @@
+"""The scaled provisioning path: parallel probing, concurrent
+dependencies, rollout, and replica-aware transfers.
+
+Every switch lives on :class:`repro.glare.provisioning.ProvisioningConfig`
+and defaults to off; these tests check each one both for its effect and
+for result-equivalence with the serial baseline.
+"""
+
+import pytest
+
+from repro.apps import (
+    get_application,
+    publish_applications,
+    register_application,
+)
+from repro.glare.model import ActivityDeployment
+from repro.glare.provisioning import ProvisioningConfig
+from repro.gridftp import GridFtpService, TransferError, UrlCatalog
+from repro.net import Network, Topology
+from repro.simkernel import Simulator
+from repro.site import GridSite, SiteDescription
+from repro.vo import build_vo
+
+URL = "http://www.povray.org/povlinux-3.6.tgz"
+
+
+def make_vo(apps=("Wien2k",), register_at="agrid01", **kwargs):
+    kwargs.setdefault("n_sites", 4)
+    kwargs.setdefault("seed", 101)
+    kwargs.setdefault("monitors", False)
+    vo = build_vo(**kwargs)
+    publish_applications(vo)
+    vo.form_overlay()
+    for app in apps:
+        vo.run_process(register_application(vo, register_at, app))
+    return vo
+
+
+def holders(vo, type_name):
+    return sorted(
+        name for name in vo.site_names
+        if vo.stack(name).adr.local_deployments_for(type_name)
+    )
+
+
+class TestConfig:
+    def test_defaults_are_all_off(self):
+        assert not ProvisioningConfig().any_enabled
+
+    def test_all_on_enables_everything(self):
+        config = ProvisioningConfig.all_on(rollout_fanout=4)
+        assert config.any_enabled
+        assert config.parallel_probe
+        assert config.site_info_ttl > 0
+        assert config.parallel_dependencies
+        assert config.rollout_fanout == 4
+        assert config.replica_transfers
+        assert config.transfer_singleflight
+
+
+class TestParallelProbe:
+    def test_parallel_probe_selects_the_same_site(self):
+        """Concurrent site_info probing must not change placement."""
+        targets = {}
+        for parallel in (False, True):
+            vo = make_vo(provisioning=ProvisioningConfig(
+                parallel_probe=True) if parallel else None)
+            wires = vo.run_process(vo.client_call(
+                "agrid02", "get_deployments", payload="Wien2k"
+            ))
+            targets[parallel] = sorted(
+                ActivityDeployment.from_xml(w["xml"]).site for w in wires
+            )
+        assert targets[False] == targets[True]
+
+    def test_parallel_probe_is_faster(self):
+        elapsed = {}
+        for parallel in (False, True):
+            vo = make_vo(provisioning=ProvisioningConfig(
+                parallel_probe=True) if parallel else None)
+            rdm = vo.rdm("agrid02")
+            from repro.glare.model import ActivityType
+
+            constraints = ActivityType.from_xml(
+                get_application("Wien2k").type_xml
+            ).installation.constraints
+
+            def probe():
+                started = vo.sim.now
+                yield from rdm.deployment_manager._candidate_sites(
+                    constraints, None
+                )
+                return vo.sim.now - started
+
+            elapsed[parallel] = vo.run_process(probe())
+        assert elapsed[True] < elapsed[False]
+
+    def test_ttl_cache_skips_reprobes(self):
+        vo = make_vo(apps=("Wien2k", "Invmod"),
+                     provisioning=ProvisioningConfig(site_info_ttl=300.0))
+        manager = vo.rdm("agrid02").deployment_manager
+        vo.run_process(vo.client_call("agrid02", "get_deployments",
+                                      payload="Wien2k"))
+        first_round = manager.probe_cache_hits
+        vo.run_process(vo.client_call("agrid02", "get_deployments",
+                                      payload="Invmod"))
+        # the second deployment's candidate scan reuses every probe
+        assert manager.probe_cache_hits > first_round
+        assert manager.probe_cache_hits >= len(vo.site_names)
+
+    def test_ttl_zero_never_caches(self):
+        vo = make_vo(apps=("Wien2k", "Invmod"))
+        manager = vo.rdm("agrid02").deployment_manager
+        vo.run_process(vo.client_call("agrid02", "get_deployments",
+                                      payload="Wien2k"))
+        vo.run_process(vo.client_call("agrid02", "get_deployments",
+                                      payload="Invmod"))
+        assert manager.probe_cache_hits == 0
+        assert manager._site_cache == {}
+
+
+class TestParallelDependencies:
+    APPS = ("Java", "Ant", "JPOVray")
+
+    def _deploy_jpovray(self, parallel):
+        provisioning = (
+            ProvisioningConfig(parallel_dependencies=True) if parallel else None
+        )
+        vo = make_vo(apps=self.APPS, provisioning=provisioning)
+        started = vo.sim.now
+        wires = vo.run_process(vo.client_call(
+            "agrid03", "get_deployments", payload="JPOVray"
+        ))
+        target = ActivityDeployment.from_xml(wires[0]["xml"]).site
+        return vo, target, vo.sim.now - started
+
+    def test_concurrent_dependencies_install_the_same_stack(self):
+        results = {}
+        for parallel in (False, True):
+            vo, target, elapsed = self._deploy_jpovray(parallel)
+            adr = vo.stack(target).adr
+            assert adr.local_deployments_for("Java")
+            assert adr.local_deployments_for("Ant")
+            results[parallel] = (target, holders(vo, "Java"),
+                                 holders(vo, "Ant"), elapsed)
+        assert results[False][:3] == results[True][:3]
+        # Java and Ant overlap instead of running back to back
+        assert results[True][3] < results[False][3]
+
+    def test_shared_transitive_dependency_installs_once(self):
+        """Ant itself needs Java; the single-flight gate deduplicates."""
+        vo, target, _ = self._deploy_jpovray(parallel=True)
+        manager = vo.rdm("agrid03").deployment_manager
+        # exactly three installations: JPOVray, Ant, and Java *once*,
+        # even though both JPOVray and Ant depend on it concurrently
+        assert manager.stats.installs_succeeded == 3
+        assert vo.stack(target).adr.local_deployments_for("Java")
+
+
+class TestRollout:
+    def _rollout(self, vo, **payload_extra):
+        spec = get_application("Wien2k")
+        payload = {"type_xml": spec.type_xml}
+        payload.update(payload_extra)
+        return vo.run_process(vo.client_call(
+            "agrid01", "rollout", payload=payload
+        ))
+
+    def test_serial_rollout_installs_on_every_candidate(self):
+        vo = make_vo()
+        result = self._rollout(vo)
+        assert result["type"] == "Wien2k"
+        statuses = {leg["site"]: leg["status"] for leg in result["results"]}
+        assert set(statuses.values()) == {"installed"}
+        assert holders(vo, "Wien2k") == sorted(statuses)
+
+    def test_second_rollout_reports_present(self):
+        vo = make_vo()
+        self._rollout(vo)
+        again = self._rollout(vo)
+        assert all(leg["status"] == "present" for leg in again["results"])
+        assert vo.rdm("agrid01").deployment_manager.stats.installs_attempted \
+            == len(again["results"])
+
+    def test_parallel_rollout_matches_serial_and_is_faster(self):
+        outcomes = {}
+        for fanout in (1, 4):
+            vo = make_vo()
+            started = vo.sim.now
+            result = self._rollout(vo, fanout=fanout)
+            legs = {
+                leg["site"]: (leg["status"], sorted(
+                    str(w["epr"]["key"]) for w in leg["deployments"]
+                ))
+                for leg in result["results"]
+            }
+            outcomes[fanout] = (legs, vo.sim.now - started)
+        assert outcomes[1][0] == outcomes[4][0]
+        assert outcomes[4][1] < outcomes[1][1]
+
+    def test_rollout_legs_do_not_piggyback_each_other(self):
+        """Same type, different targets: distinct placement keys."""
+        vo = make_vo()
+        self._rollout(vo, fanout=4)
+        manager = vo.rdm("agrid01").deployment_manager
+        assert manager.piggybacked == 0
+        assert len(holders(vo, "Wien2k")) == len(vo.site_names)
+
+    def test_explicit_targets_and_per_site_failure(self):
+        vo = make_vo()
+        vo.network.set_online("agrid03", False)
+        result = self._rollout(vo, target_sites=["agrid02", "agrid03"])
+        by_site = {leg["site"]: leg for leg in result["results"]}
+        assert by_site["agrid02"]["status"] == "installed"
+        assert by_site["agrid03"]["status"] == "failed"
+        assert by_site["agrid03"]["error"]
+        assert by_site["agrid03"]["deployments"] == []
+        # a failed leg never aborts the rollout's other legs
+        assert holders(vo, "Wien2k") == ["agrid02"]
+
+    def test_manual_mode_refuses_rollout(self):
+        from repro.glare.errors import DeploymentFailed
+        from repro.glare.model import ActivityType
+
+        vo = make_vo()
+        xml = get_application("Wien2k").type_xml.replace(
+            'mode="on-demand"', 'mode="manual"')
+
+        def run():
+            try:
+                yield from vo.rdm("agrid01").deployment_manager.rollout(
+                    ActivityType.from_xml(xml)
+                )
+            except DeploymentFailed:
+                return "refused"
+
+        assert vo.run_process(run()) == "refused"
+
+
+def make_transfer_world(replica=True, singleflight=False):
+    """Three sites where ``near`` is strictly closer to ``dst`` than
+    ``origin`` is, so replica selection has an unambiguous best choice."""
+    sim = Simulator(seed=7)
+    topo = Topology()
+    topo.add_link("dst", "near", latency=0.001, bandwidth=12.5e6)
+    topo.add_link("dst", "origin", latency=0.050, bandwidth=12.5e6)
+    topo.add_link("near", "origin", latency=0.050, bandwidth=12.5e6)
+    net = Network(sim, topo)
+    sites = {
+        name: GridSite(net, SiteDescription(name=name))
+        for name in ("dst", "near", "origin")
+    }
+    catalog = UrlCatalog()
+    services = {
+        name: GridFtpService(
+            net, name, fs=site.fs, url_catalog=catalog,
+            replica_transfers=replica, transfer_singleflight=singleflight,
+        )
+        for name, site in sites.items()
+    }
+    sites["origin"].fs.put_file("/www/app.tgz", size=4_000_000, md5sum="m")
+    catalog.publish(URL, "origin", "/www/app.tgz")
+    return sim, sites, services, catalog
+
+
+def run(sim, gen):
+    proc = sim.process(gen)
+    sim.run()
+    assert proc.ok, proc.value
+    return proc.value
+
+
+class TestReplicaTransfers:
+    def test_verified_fetch_registers_replica(self):
+        sim, sites, services, catalog = make_transfer_world()
+
+        def client():
+            yield from services["near"].fetch_url(URL, "/tmp/app.tgz",
+                                                  expected_md5="m")
+
+        run(sim, client())
+        assert catalog.replicas[URL] == [("near", "/tmp/app.tgz")]
+        assert catalog.locations(URL)[0] == ("origin", "/www/app.tgz")
+
+    def test_second_fetch_pulls_from_nearest_replica(self):
+        sim, sites, services, catalog = make_transfer_world()
+
+        def seed_then_fetch():
+            yield from services["near"].fetch_url(URL, "/tmp/app.tgz",
+                                                  expected_md5="m")
+            yield from services["dst"].fetch_url(URL, "/tmp/app.tgz",
+                                                 expected_md5="m")
+
+        run(sim, seed_then_fetch())
+        assert services["dst"].replica_hits == 1
+        assert services["dst"].transfers[-1].source == "near"
+        assert sites["dst"].fs.get_file("/tmp/app.tgz").size == 4_000_000
+
+    def test_stale_replica_falls_back_to_origin(self):
+        sim, sites, services, catalog = make_transfer_world()
+        # a replica whose file no longer exists: the fetch must recover
+        catalog.add_replica(URL, "near", "/tmp/vanished.tgz")
+
+        def client():
+            entry = yield from services["dst"].fetch_url(URL, "/tmp/app.tgz",
+                                                         expected_md5="m")
+            return entry
+
+        entry = run(sim, client())
+        assert entry.size == 4_000_000
+        assert services["dst"].transfers[-1].source == "origin"
+        # the dead replica was evicted; dst registered itself instead
+        assert catalog.replicas[URL] == [("dst", "/tmp/app.tgz")]
+
+    def test_offline_replica_is_skipped(self):
+        sim, sites, services, catalog = make_transfer_world()
+        catalog.add_replica(URL, "near", "/tmp/app.tgz")
+        sim_net = services["dst"].network
+        sim_net.set_online("near", False)
+
+        def client():
+            yield from services["dst"].fetch_url(URL, "/tmp/app.tgz",
+                                                 expected_md5="m")
+
+        run(sim, client())
+        assert services["dst"].replica_hits == 0
+        assert services["dst"].transfers[-1].source == "origin"
+
+    def test_replicas_off_always_hits_origin(self):
+        sim, sites, services, catalog = make_transfer_world(replica=False)
+        catalog.add_replica(URL, "near", "/tmp/app.tgz")
+
+        def client():
+            yield from services["dst"].fetch_url(URL, "/tmp/app.tgz")
+
+        run(sim, client())
+        assert services["dst"].replica_hits == 0
+        assert services["dst"].transfers[-1].source == "origin"
+
+
+class TestTransferSingleflight:
+    def test_concurrent_fetches_share_one_download(self):
+        sim, sites, services, catalog = make_transfer_world(
+            replica=False, singleflight=True)
+        gridftp = services["dst"]
+
+        def client(index):
+            yield from gridftp.fetch_url(URL, f"/tmp/copy{index}.tgz")
+
+        for index in range(3):
+            sim.process(client(index))
+        sim.run()
+        assert gridftp.url_singleflight_joined == 2
+        # one wide-area pull; the followers copied the leader's file
+        wide_area = [t for t in gridftp.transfers if t.source == "origin"]
+        assert len(wide_area) == 1
+        for index in range(3):
+            assert sites["dst"].fs.get_file(f"/tmp/copy{index}.tgz").size \
+                == 4_000_000
+        assert gridftp._inflight_urls == {}
+
+    def test_failed_leader_is_not_shared(self):
+        sim, sites, services, catalog = make_transfer_world(
+            replica=False, singleflight=True)
+        gridftp = services["dst"]
+        sites["origin"].fs.remove_file("/www/app.tgz")
+        failures = []
+
+        def client(index):
+            try:
+                yield from gridftp.fetch_url(URL, f"/tmp/copy{index}.tgz")
+            except TransferError:
+                failures.append(index)
+
+        for index in range(2):
+            sim.process(client(index))
+        sim.run()
+        # the follower joined, saw the leader fail, retried on its own
+        assert gridftp.url_singleflight_joined == 1
+        assert sorted(failures) == [0, 1]
+        assert gridftp._inflight_urls == {}

@@ -67,6 +67,8 @@ def test_piggybackers_see_failures():
         vo.sim.process(client(index))
     vo.sim.run(until=vo.sim.now + 600)
     assert len(failures) == 2
+    # both the leader and the piggybacker surface DeploymentFailed
+    assert {name for _, name in failures} == {"DeploymentFailed"}
     rdm = vo.rdm("agrid01")
     assert rdm.deployment_manager.piggybacked == 1
     assert rdm.deployment_manager._in_flight == {}
