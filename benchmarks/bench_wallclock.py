@@ -22,6 +22,8 @@ Usage::
         --check-resolution BENCH_resolution.json
     python benchmarks/bench_wallclock.py --provisioning \
         --check-provisioning BENCH_provisioning.json
+    python benchmarks/bench_wallclock.py --faults \
+        --check-faults BENCH_faults.json
 
 ``--check-baseline`` enforces the two gates against a committed
 baseline file: rate metrics must not regress by more than
@@ -40,6 +42,13 @@ emits/gates ``BENCH_provisioning.json``: the parallel/replica rollout
 must stay at least ``--min-speedup`` (default 3x) faster than the
 serial baseline, must not pull more origin bytes than the committed
 run, and the deployment-set digests must match exactly.
+
+``--faults`` runs the Fig. 16 churn pair instead and emits/gates
+``BENCH_faults.json``: the resilient series must keep at least
+``--min-success`` (default 0.95) request success under super-peer
+churn, the fragile series must stay measurably worse, takeovers must
+happen exactly when the detector is on, and the per-request outcome
+digests must match exactly.
 
 Wall-clock rates vary across machines; the committed baseline is only
 a tripwire for large same-machine-family regressions, which is why the
@@ -127,6 +136,29 @@ def _print_provisioning_summary(suite) -> None:
     )
 
 
+def _print_faults_summary(suite) -> None:
+    result = suite["results"]["faults"]
+    details = result["details"]
+    print(f"bench_faults ({suite['mode']}, {details['n_sites']} sites, "
+          f"{details['crashes']} crashes)")
+    print(
+        f"  faults {result['value']:>16,.0f} {result['metric']:<26s}"
+        f" ({result['wall_seconds']:.3f}s wall)"
+    )
+    print(
+        f"  resolution success  fragile {100 * details['fragile_resolution_success']:.1f}%"
+        f"  resilient {100 * details['resilient_resolution_success']:.1f}%"
+    )
+    print(
+        f"  provision success   fragile {100 * details['fragile_provision_success']:.1f}%"
+        f"  resilient {100 * details['resilient_provision_success']:.1f}%"
+    )
+    print(
+        f"  re-elections {details['reelections']}  retries {details['retries']}"
+        f"  mean recovery {details['mean_recovery_s']:.1f}s"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -149,7 +181,34 @@ def main(argv=None) -> int:
                         help="fail on speedup loss / deployment drift vs this file")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="required parallel rollout speedup (default 3.0)")
+    parser.add_argument("--faults", action="store_true",
+                        help="run the Fig. 16 churn pair instead")
+    parser.add_argument("--check-faults", metavar="PATH",
+                        help="fail on success-rate loss / outcome drift vs this file")
+    parser.add_argument("--min-success", type=float, default=0.95,
+                        help="required resilient success rate under churn "
+                             "(default 0.95)")
     args = parser.parse_args(argv)
+
+    if args.faults or args.check_faults:
+        suite = perf.faults_suite(quick=args.quick)
+        _print_faults_summary(suite)
+        if args.output:
+            perf.dump_suite(suite, args.output)
+            print(f"wrote {args.output}")
+        if args.check_faults:
+            with open(args.check_faults) as handle:
+                baseline = json.load(handle)
+            failures = perf.compare_faults_baseline(
+                suite, baseline, min_success=args.min_success
+            )
+            if failures:
+                print("FAIL:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print(f"faults baseline check passed ({args.check_faults})")
+        return 0
 
     if args.provisioning or args.check_provisioning:
         suite = perf.provisioning_suite(quick=args.quick)

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig13 [--quick]
     python -m repro fig14 [--quick]
     python -m repro fig15 [--quick]
+    python -m repro fig16 [--quick]
     python -m repro all [--quick]
     python -m repro trace [deploy|lookup|election] [--chrome-out FILE]
                           [--jsonl-out FILE]
@@ -99,6 +100,12 @@ def _run_fig15(quick: bool) -> str:
     return format_fig15(run_fig15(sizes=sizes))
 
 
+def _run_fig16(quick: bool) -> str:
+    from repro.experiments.fig16 import format_fig16, run_fig16
+
+    return format_fig16(run_fig16(quick=quick))
+
+
 COMMANDS = {
     "table1": _run_table1,
     "fig10": _run_fig10,
@@ -107,6 +114,7 @@ COMMANDS = {
     "fig13": _run_fig13,
     "fig14": _run_fig14,
     "fig15": _run_fig15,
+    "fig16": _run_fig16,
 }
 
 #: scenario names accepted by the trace/metrics subcommands (mirrors

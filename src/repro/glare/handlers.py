@@ -31,6 +31,7 @@ from repro.glare.deployfile import BuildRecipe, BuildStep
 from repro.glare.errors import DeploymentFailed
 from repro.gram.jobs import JobSpec
 from repro.gridftp.service import GridFtpService, TransferError
+from repro.net.interceptors import RetryPolicy
 from repro.site.gridsite import GridSite
 from repro.site.filesystem import FilesystemError, join as fs_join
 
@@ -88,10 +89,15 @@ class DeploymentHandler:
     #: models a client stack that streams less efficiently than the
     #: native globus-url-copy (no parallel TCP streams in Java CoG)
     download_slowdown = 0.0
-    #: attempts per download step: transient GridFTP failures (data
-    #: channel resets) are retried; permanent errors (md5 mismatch,
-    #: unknown URL) are not
-    download_attempts = 3
+    #: retry policy per download step: transient GridFTP failures
+    #: (data channel resets) are retried with a linear backoff;
+    #: permanent errors (md5 mismatch, unknown URL) are not
+    download_retry = RetryPolicy(attempts=3, base_delay=0.5, backoff="linear")
+
+    @property
+    def download_attempts(self) -> int:
+        """Attempt budget of :attr:`download_retry` (legacy accessor)."""
+        return self.download_retry.attempts
 
     def __init__(self, site: GridSite, gridftp: GridFtpService) -> None:
         if gridftp.node_name != site.name:
@@ -230,14 +236,14 @@ class DeploymentHandler:
                 except TransferError as error:
                     if (
                         "transient" not in str(error)
-                        or attempt >= self.download_attempts
+                        or attempt >= self.download_retry.attempts
                     ):
                         raise
-                    # back off briefly and retry the data channel;
+                    # back off per the policy and retry the data channel;
                     # retries are counted apart from the failures that
                     # caused them (a burned final attempt retries nothing)
                     self.gridftp.transfer_retries += 1
-                    yield self.sim.timeout(0.5 * attempt)
+                    yield self.sim.timeout(self.download_retry.backoff_delay(attempt))
             if self.download_slowdown > 0:
                 yield self.sim.timeout(
                     (self.sim.now - transfer_start) * self.download_slowdown

@@ -24,12 +24,18 @@ from typing import TYPE_CHECKING, Generator, List
 
 from repro.glare.model import ActivityDeployment, ActivityType, DeploymentKind, DeploymentStatus
 from repro.glare.registry import epr_from_wire
+from repro.net.interceptors import RetryPolicy
 from repro.net.network import RpcTimeout
 from repro.simkernel.errors import Interrupt, OfflineError
 from repro.site.filesystem import FilesystemError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.glare.rdm import GlareRDMService
+
+#: deadline policy for cache-revalidation RPC (sources answer fast or
+#: are treated as temporarily unreachable; no retry — the next cycle
+#: revisits them anyway)
+LUT_RETRY = RetryPolicy.single(8.0)
 
 
 class Monitor:
@@ -155,9 +161,9 @@ class CacheRefresher(Monitor):
             by_source.setdefault((source.site, source.service), []).append(key)
         for (site, service), keys in by_source.items():
             try:
-                luts = yield from self.rdm.network.call_with_timeout(
+                luts = yield from self.rdm.network.call(
                     self.rdm.node_name, site, service, "get_lut_batch",
-                    payload=list(keys), timeout=8.0,
+                    payload=list(keys), retry=LUT_RETRY,
                 )
             except (OfflineError, RpcTimeout):
                 continue  # source temporarily unreachable: keep the copies
@@ -192,9 +198,9 @@ class CacheRefresher(Monitor):
                 atr.drop_cached_type(name)
                 continue
             try:
-                lut = yield from self.rdm.network.call_with_timeout(
+                lut = yield from self.rdm.network.call(
                     self.rdm.node_name, source.site, source.service, "get_lut",
-                    payload=name, timeout=8.0,
+                    payload=name, retry=LUT_RETRY,
                 )
             except (OfflineError, RpcTimeout):
                 continue  # source temporarily unreachable: keep the copy
@@ -219,9 +225,9 @@ class CacheRefresher(Monitor):
                 adr.drop_cached_deployment(key)
                 continue
             try:
-                lut = yield from self.rdm.network.call_with_timeout(
+                lut = yield from self.rdm.network.call(
                     self.rdm.node_name, source.site, source.service, "get_lut",
-                    payload=key, timeout=8.0,
+                    payload=key, retry=LUT_RETRY,
                 )
             except (OfflineError, RpcTimeout):
                 continue
@@ -239,8 +245,9 @@ class CacheRefresher(Monitor):
 
     def _safe_fetch(self, site: str, service: str, method: str, key: str) -> Generator:
         try:
-            wire = yield from self.rdm.network.call_with_timeout(
-                self.rdm.node_name, site, service, method, payload=key, timeout=8.0
+            wire = yield from self.rdm.network.call(
+                self.rdm.node_name, site, service, method, payload=key,
+                retry=LUT_RETRY,
             )
             return wire
         except (OfflineError, RpcTimeout):

@@ -41,6 +41,7 @@ from repro.glare.model import (
 )
 from repro.glare.registry import deployment_to_wire, epr_from_wire, wire_site
 from repro.gridftp.service import TransferError
+from repro.net.interceptors import RetryPolicy
 from repro.net.network import RpcTimeout
 from repro.simkernel.errors import OfflineError
 from repro.simkernel.primitives import bounded_gather
@@ -51,6 +52,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: cost of e-mailing the site administrator (Table 1 "Notification": 345 ms)
 NOTIFICATION_COST = 0.345
+
+#: deadline for candidate ``site_info`` probes (unreachable sites are
+#: simply skipped; the walk tries the next candidate)
+PROBE_RETRY = RetryPolicy.single(8.0)
+
+#: deadline for a remote ``deploy`` (covers a worst-case build; the
+#: installation itself retries transient transfers via the handler's
+#: download policy)
+INSTALL_RETRY = RetryPolicy.single(600.0)
 
 
 @dataclass(frozen=True)
@@ -309,7 +319,7 @@ class DeploymentManager:
     def _probe_one(self, name: str) -> Generator:
         """One ``site_info`` RPC; ``None`` when the site is unreachable."""
         try:
-            info = yield from self.rdm.rpc(name, "site_info", None, timeout=8.0)
+            info = yield from self.rdm.rpc(name, "site_info", None, retry=PROBE_RETRY)
         except (OfflineError, RpcTimeout):
             return None
         desc = SiteDescription.from_info(info)
@@ -365,7 +375,7 @@ class DeploymentManager:
                 {"type_xml": activity_type.wire_xml(),
                  "requester": self.rdm.node_name,
                  "handler": self.handler_kind},
-                timeout=600.0,
+                retry=INSTALL_RETRY,
             )
         if not result["success"]:
             raise DeploymentFailed(result.get("error", "installation failed"))

@@ -19,6 +19,7 @@ and super-peer cache).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.glare.errors import DeploymentNotFound, GlareError, TypeNotFound
@@ -44,6 +45,7 @@ from repro.glare.resolution import ResolutionConfig, TypeDigest
 from repro.glare.superpeer import OverlayManager, OverlayView
 from repro.gram.jobs import JobSpec
 from repro.gridftp.service import GridFtpService
+from repro.net.interceptors import RetryPolicy
 from repro.net.message import Message, Response
 from repro.net.network import RpcTimeout
 from repro.net.service import Service
@@ -604,8 +606,12 @@ class GlareRDMService(Service):
         request_demand: float = 0.002,
         resolution: Optional[ResolutionConfig] = None,
         provisioning: Optional[ProvisioningConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(network, site.name)
+        #: default retry policy for this RDM's outbound RPC (``None``
+        #: keeps the legacy single-attempt behaviour, byte-identical)
+        self.retry_policy = retry_policy
         self.site = site
         self.atr = atr
         self.adr = adr
@@ -645,17 +651,27 @@ class GlareRDMService(Service):
     # -- plumbing -----------------------------------------------------------------
 
     def rpc(self, dst: str, method: str, payload: Any = None,
-            timeout: Optional[float] = None) -> Generator:
-        """RPC to another site's RDM service."""
-        if timeout is None:
-            value = yield from self.network.call(
-                self.node_name, dst, RDM_SERVICE, method, payload=payload
-            )
-        else:
-            value = yield from self.network.call_with_timeout(
-                self.node_name, dst, RDM_SERVICE, method, payload=payload,
-                timeout=timeout,
-            )
+            timeout: Optional[float] = None,
+            retry: Optional[RetryPolicy] = None) -> Generator:
+        """RPC to another site's RDM service.
+
+        Runs under ``retry`` (or this RDM's default
+        :attr:`retry_policy`); ``timeout`` fills in the per-attempt
+        deadline when the policy lacks one.  With neither set, the
+        call is a plain single attempt.
+        """
+        policy = retry if retry is not None else self.retry_policy
+        if timeout is not None:
+            if policy is None:
+                policy = RetryPolicy.single(timeout)
+            else:
+                # an explicit per-call deadline overrides the policy's
+                # own per-attempt timeout (probe deadlines stay exact)
+                policy = dataclasses.replace(policy, per_try_timeout=timeout)
+        value = yield from self.network.call(
+            self.node_name, dst, RDM_SERVICE, method, payload=payload,
+            retry=policy,
+        )
         return value
 
     def rpc_local_adr_register(self, deployment: ActivityDeployment,
@@ -671,10 +687,10 @@ class GlareRDMService(Service):
         """VO membership: community index if available, else overlay view."""
         if self.community_site is not None:
             try:
-                sites = yield from self.network.call_with_timeout(
+                sites = yield from self.network.call(
                     self.node_name, self.community_site,
                     self.community_index_service, "list_sites",
-                    timeout=10.0,
+                    retry=(self.retry_policy or RetryPolicy()).with_per_try(10.0),
                 )
                 if sites:
                     return list(sites)

@@ -90,7 +90,15 @@ class OverlayManager:
         self._offers: Dict[str, int] = {}
         self.elections_run = 0
         self.reelections = 0
+        #: successful takeovers on this site: ``{"at", "missing",
+        #: "epoch"}`` per event (experiments read recovery times here)
+        self.takeover_log: List[Dict] = []
         self._probe_proc = None
+        #: a takeover verification is already running: concurrent
+        #: ``sp_missing`` reports for the same failure must not each
+        #: run the vote (they would all pass the pre-checks before the
+        #: first one applies the new view, re-electing several times)
+        self._takeover_busy = False
         #: optional hook called with the new view whenever an
         #: assignment (election or takeover) lands; the RDM uses it to
         #: reset super-peer digests and push member claim notes
@@ -335,8 +343,16 @@ class OverlayManager:
     def takeover_check(self) -> Generator:
         """Highest-ranked member path: verify, poll members, take over."""
         missing = self.view.super_peer
-        if not missing or self.view.role != "peer":
+        if not missing or self.view.role != "peer" or self._takeover_busy:
             return False
+        self._takeover_busy = True
+        try:
+            taken = yield from self._takeover_check_inner(missing)
+            return taken
+        finally:
+            self._takeover_busy = False
+
+    def _takeover_check_inner(self, missing: str) -> Generator:
         # (a) verify the super-peer really is missing
         alive = yield from self._probe(missing)
         if alive:
@@ -369,6 +385,9 @@ class OverlayManager:
 
         # Take over.
         self.reelections += 1
+        self.takeover_log.append(
+            {"at": self.sim.now, "missing": missing, "epoch": self.view.epoch + 1}
+        )
         new_members = [m for m in self.view.members if m.site != missing]
         new_sps = [s for s in self.view.super_peers if s != missing] + [self.me]
         payload = {

@@ -120,8 +120,9 @@ class GridFtpService(Service):
         Shared URL resolution table (one per VO).
     failure_rate:
         Probability that any single transfer attempt fails transiently
-        (connection reset, data-channel timeout).  Used by the fault
-        injection tests; zero in normal operation.
+        (connection reset, data-channel timeout).  The draw is
+        delegated to the VO's :class:`~repro.faults.FaultPlane` on the
+        historical per-path stream keys; zero in normal operation.
     replica_transfers:
         ``fetch_url`` registers verified downloads as catalog replicas
         and pulls from the nearest live copy instead of always hitting
@@ -234,11 +235,10 @@ class GridFtpService(Service):
     ) -> Generator:
         """The untraced transfer body (see :meth:`fetch`)."""
         start = self.sim.now
-        if self.failure_rate > 0 and (
-            # keyed per source path so fault-injection draws for one
-            # transfer never perturb another's
-            self.sim.rng.uniform(f"gridftp-fail:{self.node_name}:{src_path}", 0.0, 1.0)
-            < self.failure_rate
+        # the legacy failure_rate knob delegates its draw to the VO's
+        # fault plane (same per-path stream keys, one fault RNG path)
+        if self.network.faults.transfer_fault(
+            self.node_name, src_path, self.failure_rate
         ):
             # transient data-channel failure after the setup handshake
             yield self.sim.timeout(self.setup_cost)

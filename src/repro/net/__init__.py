@@ -13,22 +13,39 @@ GT4 web-service transport stack.  It provides:
 * :class:`~repro.net.transport.SecurityPolicy` — transport-level
   security (http vs https) as per-message handshake latency and
   cryptographic CPU demand, reproducing the ~50 % throughput drop the
-  paper reports with TLS enabled.
+  paper reports with TLS enabled;
+* :mod:`~repro.net.interceptors` — the composable RPC pipeline
+  (trace/metrics/fault layers, :class:`CallContext`) and the shared
+  :class:`RetryPolicy` used by every call site that retries or
+  deadlines remote operations.
 """
 
+from repro.net.interceptors import (
+    CallContext,
+    Interceptor,
+    Overloaded,
+    RemoteError,
+    RetryPolicy,
+    RpcTimeout,
+)
 from repro.net.message import Message, Response
-from repro.net.network import Network, NodeRuntime, RemoteError, ServiceNotFound
+from repro.net.network import Network, NodeRuntime, ServiceNotFound
 from repro.net.service import Service
 from repro.net.topology import Link, Topology
 from repro.net.transport import SecurityPolicy
 
 __all__ = [
+    "CallContext",
+    "Interceptor",
     "Link",
     "Message",
     "Network",
     "NodeRuntime",
+    "Overloaded",
     "RemoteError",
     "Response",
+    "RetryPolicy",
+    "RpcTimeout",
     "SecurityPolicy",
     "Service",
     "ServiceNotFound",

@@ -5,18 +5,32 @@ simulator: every site gets a :class:`NodeRuntime` (CPU + registered
 services + online flag), and processes anywhere in the model invoke
 remote operations through ``yield from network.call(...)``.
 
-The call path charges, in order: client marshalling CPU, security
-handshake latency, request transmission (propagation + size/bandwidth),
-server-side crypto + unmarshalling CPU, the service handler itself
-(which typically executes on the server CPU), and the response
-transmission back.  This is the cost model every experiment in the
-paper's evaluation rides on.
+Calls flow through the interceptor pipeline of
+:mod:`repro.net.interceptors` (trace, metrics, fault injection — each
+installed only when its subsystem is on) into the terminal *transport*
+stage, which charges, in order: client marshalling CPU, security
+handshake latency, request transmission (propagation +
+size/bandwidth), server-side crypto + unmarshalling CPU, the service
+handler itself (which typically executes on the server CPU), and the
+response transmission back.  This is the cost model every experiment
+in the paper's evaluation rides on.  A :class:`RetryPolicy` passed to
+:meth:`Network.call` re-runs the whole pipeline per attempt.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional
 
+from repro.net.interceptors import (
+    CallContext,
+    FaultInterceptor,
+    MetricsInterceptor,
+    RemoteError,
+    RetryPolicy,
+    RpcTimeout,
+    TraceInterceptor,
+    compose,
+)
 from repro.net.message import Message, Response, estimate_size
 from repro.net.topology import Topology
 from repro.net.transport import SecurityPolicy
@@ -28,18 +42,6 @@ from repro.simkernel.errors import OfflineError, SimulationError
 
 class ServiceNotFound(SimulationError):
     """No service with the requested name is deployed on the target node."""
-
-
-class RpcTimeout(SimulationError):
-    """A remote call did not complete within its deadline."""
-
-
-class RemoteError(Exception):
-    """Wraps an application-level exception raised by a remote handler."""
-
-    def __init__(self, cause: BaseException) -> None:
-        super().__init__(f"remote handler failed: {cause!r}")
-        self.cause = cause
 
 
 class NodeRuntime:
@@ -56,8 +58,8 @@ class NodeRuntime:
         self.messages_out = 0
         self.bytes_in = 0
         self.bytes_out = 0
-        #: RPCs currently being served on this node (observability
-        #: gauge; only maintained while observability is enabled)
+        #: RPCs currently being served on this node (always maintained:
+        #: admission control and the observability gauge both read it)
         self.inflight_rpcs = 0
 
     def service(self, name: str):
@@ -101,6 +103,11 @@ class Network:
         envelope carries trace-context metadata, and per-endpoint
         latency histograms and call counters are recorded.  Defaults
         to a disabled instance (one attribute check per call).
+    faults:
+        The VO's :class:`~repro.faults.FaultPlane`.  When enabled, a
+        fault-injection layer joins the pipeline (link loss,
+        partitions) and the dispatch step applies per-service error
+        rules.  Defaults to a disabled plane.
     """
 
     def __init__(
@@ -112,12 +119,19 @@ class Network:
         connect_fail_delay: float = 1.0,
         contention: bool = False,
         obs: Optional[Observability] = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.security = security or SecurityPolicy.http()
         self.obs = obs if obs is not None else _disabled_observability()
         self.obs.bind(sim)
+        if faults is None:
+            # deferred import: repro.faults itself imports the pipeline
+            from repro.faults import FaultPlane
+
+            faults = FaultPlane(sim)
+        self.faults = faults.bind(self)
         self.marshal_cpu_per_kb = marshal_cpu_per_kb
         self.connect_fail_delay = connect_fail_delay
         self.contention = contention
@@ -125,6 +139,26 @@ class Network:
         self.nodes: Dict[str, NodeRuntime] = {}
         self.total_messages = 0
         self.total_bytes = 0
+        #: retry-layer attempts beyond the first, across all calls
+        self.retries_total = 0
+        self.interceptors: list = []
+        self.rebuild_pipeline()
+
+    def rebuild_pipeline(self) -> None:
+        """(Re)compose the interceptor chain around the transport stage.
+
+        Layers are installed only when their subsystem is on, so the
+        all-off default collapses to the bare transport — the same
+        event sequence as the pre-pipeline code, byte-for-byte.
+        """
+        layers = []
+        if self.obs.enabled:
+            layers.append(TraceInterceptor(self))
+            layers.append(MetricsInterceptor(self))
+        if self.faults.enabled:
+            layers.append(FaultInterceptor(self))
+        self.interceptors = layers
+        self._invoke = compose(layers, self._transport)
 
     # -- node management ---------------------------------------------------
 
@@ -194,170 +228,82 @@ class Network:
         payload: Any = None,
         size: int = 0,
         security: Optional[SecurityPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> Generator:
         """Sub-generator performing one remote call; yields the result.
 
         Use as ``value = yield from network.call(...)``.  Raises
         :class:`OfflineError` when either endpoint is down,
         :class:`ServiceNotFound` for unknown services, and re-raises
-        application exceptions from the remote handler.
+        application exceptions from the remote handler.  With a
+        ``retry`` policy the whole pipeline is re-run per attempt
+        (per-attempt timeouts raise :class:`RpcTimeout`; transient
+        errors back off and retry within the deadline budget).
         """
-        obs = self.obs
-        if not obs.enabled:
-            value = yield from self._call_inner(
-                src, dst, service, method, payload, size, security
-            )
-            return value
-        endpoint = f"{service}.{method}"
-        started = self.sim.now
-        outcome = "ok"
-        with obs.tracer.span(f"rpc:{endpoint}", src=src, dst=dst) as span:
-            try:
-                value = yield from self._call_inner(
-                    src, dst, service, method, payload, size, security
-                )
-            except BaseException as error:
-                outcome = type(error).__name__
-                raise
-            finally:
-                span.set_attr("outcome", outcome)
-                obs.metrics.counter("rpc.calls", endpoint=endpoint).inc()
-                if outcome != "ok":
-                    obs.metrics.counter("rpc.errors", endpoint=endpoint).inc()
-                obs.metrics.histogram("rpc.latency", endpoint=endpoint).observe(
-                    self.sim.now - started
-                )
+        ctx = CallContext(src, dst, service, method, payload, size, security)
+        if retry is not None and retry.engaged:
+            value = yield from self._call_with_policy(ctx, retry)
+        else:
+            value = yield from self._invoke(ctx)
         return value
 
-    def _call_inner(
-        self,
-        src: str,
-        dst: str,
-        service: str,
-        method: str,
-        payload: Any = None,
-        size: int = 0,
-        security: Optional[SecurityPolicy] = None,
-    ) -> Generator:
-        """The untraced RPC body (see :meth:`call`)."""
-        policy = security if security is not None else self.security
-        src_node = self.node(src)
-        dst_node = self.node(dst)
-        if not src_node.online:
-            raise OfflineError(f"source node {src!r} is offline")
+    # -- retry layer -----------------------------------------------------------
 
-        obs = self.obs
-        message = Message(
-            src=src,
-            dst=dst,
-            service=service,
-            method=method,
-            payload=payload,
-            size=size,
-            secure=policy.enabled,
-        )
-        if obs.enabled:
-            # inject the caller's span identity into the envelope (the
-            # simulated ``traceparent`` header)
-            message.trace_ctx = obs.tracer.current_context()
-        latency, bandwidth = self.topology.path_metrics(src, dst)
-        rtt = 2.0 * latency
-
-        # client-side marshalling (+ crypto share)
-        client_demand = self.marshal_cpu_per_kb * (message.size / 1024.0)
-        client_demand += policy.client_cpu_demand(message.size)
-        if client_demand > 0:
-            yield from src_node.cpu.execute(client_demand)
-
-        # security handshake
-        handshake = policy.handshake_latency(rtt)
-        if handshake > 0:
-            yield self.sim.timeout(handshake)
-
-        # request transmission
-        yield from self._transmit(src, dst, message.size)
-
-        self.total_messages += 1
-        self.total_bytes += message.size
-        src_node.messages_out += 1
-        src_node.bytes_out += message.size
-
-        if not dst_node.online:
-            # the connection attempt times out
-            yield self.sim.timeout(self.connect_fail_delay)
-            raise OfflineError(f"target node {dst!r} is offline")
-
-        dst_node.messages_in += 1
-        dst_node.bytes_in += message.size
-
-        # server-side crypto + unmarshalling
-        server_demand = self.marshal_cpu_per_kb * (message.size / 1024.0)
-        server_demand += policy.server_cpu_demand(message.size)
-        if server_demand > 0:
-            yield from dst_node.cpu.execute(server_demand)
-
-        handler = dst_node.service(service)
-        if obs.enabled:
-            # Handlers run inline in the caller's process, so the server
-            # span usually nests under the ``rpc:`` span automatically.
-            # When the dispatch happens in a process with no active span
-            # (e.g. a ``call_with_timeout`` runner started before the
-            # tracer existed) the envelope's trace context re-parents it.
-            parent = None
-            if obs.tracer.current_context() is None:
-                parent = message.trace_ctx
-            dst_node.inflight_rpcs += 1
+    def _call_with_policy(self, ctx: CallContext, policy: RetryPolicy) -> Generator:
+        """Run the pipeline under ``policy`` (attempts, timeouts, backoff)."""
+        sim = self.sim
+        start = sim.now
+        jitter_key = f"retry:{ctx.src}:{ctx.endpoint}"
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.attempts + 1):
+            ctx.attempt = attempt
+            remaining = None
+            if policy.deadline is not None:
+                remaining = policy.deadline - (sim.now - start)
+                if remaining <= 0:
+                    break
+            per_try = policy.per_try_timeout
+            if per_try is None:
+                per_try = remaining
+            elif remaining is not None:
+                per_try = min(per_try, remaining)
             try:
-                with obs.tracer.span(
-                    f"serve:{service}.{method}", parent=parent, site=dst
-                ):
-                    result = yield from handler.dispatch(method, message)
-            finally:
-                dst_node.inflight_rpcs -= 1
-        else:
-            result = yield from handler.dispatch(method, message)
-        response = result if isinstance(result, Response) else Response(value=result)
+                if per_try is None:
+                    value = yield from self._invoke(ctx)
+                else:
+                    value = yield from self._attempt_with_deadline(ctx, per_try)
+                return value
+            except BaseException as error:
+                last_error = error
+                if attempt >= policy.attempts or not policy.retryable(error):
+                    raise
+                delay = policy.backoff_delay(attempt, rng=sim.rng, key=jitter_key)
+                if (policy.deadline is not None
+                        and (sim.now - start) + delay >= policy.deadline):
+                    raise
+                self.retries_total += 1
+                if self.obs.enabled:
+                    self.obs.metrics.counter(
+                        "rpc.retries", endpoint=ctx.endpoint
+                    ).inc()
+                if delay > 0:
+                    yield sim.timeout(delay)
+        # deadline budget exhausted before the attempt budget
+        assert last_error is not None
+        raise last_error
 
-        # crypto on the response body
-        resp_crypto = policy.server_cpu_demand(response.size) - policy.server_cpu_demand(0)
-        if resp_crypto > 0:
-            yield from dst_node.cpu.execute(resp_crypto)
+    def _attempt_with_deadline(self, ctx: CallContext, timeout: float) -> Generator:
+        """One pipeline attempt raced against ``timeout``.
 
-        # response transmission
-        yield from self._transmit(dst, src, response.size)
-        self.total_messages += 1
-        self.total_bytes += response.size
-        dst_node.messages_out += 1
-        dst_node.bytes_out += response.size
-        src_node.messages_in += 1
-        src_node.bytes_in += response.size
-
-        return response.value
-
-    def call_with_timeout(
-        self,
-        src: str,
-        dst: str,
-        service: str,
-        method: str,
-        payload: Any = None,
-        size: int = 0,
-        timeout: float = 10.0,
-        security: Optional[SecurityPolicy] = None,
-    ) -> Generator:
-        """Like :meth:`call` but abandons the call after ``timeout``.
-
-        Raises :class:`RpcTimeout` when the deadline passes first.  The
-        in-flight call is interrupted so it does not linger.
+        The in-flight call is interrupted when the deadline passes so
+        it does not linger.
         """
 
         def _runner() -> Generator:
-            value = yield from self.call(
-                src, dst, service, method, payload=payload, size=size, security=security
-            )
+            value = yield from self._invoke(ctx)
             return value
 
-        proc = self.sim.process(_runner(), name=f"rpc:{service}.{method}")
+        proc = self.sim.process(_runner(), name=f"rpc:{ctx.service}.{ctx.method}")
         deadline = self.sim.timeout(timeout)
         yield self.sim.any_of([proc, deadline])
         if proc.triggered:
@@ -370,7 +316,157 @@ class Network:
         except SimulationError:  # pragma: no cover - already finished
             pass
         proc.defused = True
-        raise RpcTimeout(f"{service}.{method} on {dst!r} timed out after {timeout}s")
+        raise RpcTimeout(
+            f"{ctx.service}.{ctx.method} on {ctx.dst!r} timed out after {timeout}s"
+        )
+
+    # -- terminal transport stage ------------------------------------------------
+
+    def _transport(self, ctx: CallContext) -> Generator:
+        """Marshalling, security, wire transfer and dispatch for one attempt."""
+        policy = ctx.security if ctx.security is not None else self.security
+        src_node = self.node(ctx.src)
+        dst_node = self.node(ctx.dst)
+        if not src_node.online:
+            raise OfflineError(f"source node {ctx.src!r} is offline")
+
+        message = Message(
+            src=ctx.src,
+            dst=ctx.dst,
+            service=ctx.service,
+            method=ctx.method,
+            payload=ctx.payload,
+            size=ctx.size,
+            secure=policy.enabled,
+        )
+        if self.obs.enabled:
+            # inject the caller's span identity into the envelope (the
+            # simulated ``traceparent`` header)
+            message.trace_ctx = self.obs.tracer.current_context()
+        latency, _ = self.topology.path_metrics(ctx.src, ctx.dst)
+
+        yield from self._client_marshal(message, policy, src_node)
+        yield from self._security_handshake(policy, 2.0 * latency)
+
+        # request transmission
+        yield from self._transmit(ctx.src, ctx.dst, message.size)
+        self.total_messages += 1
+        self.total_bytes += message.size
+        src_node.messages_out += 1
+        src_node.bytes_out += message.size
+
+        if not dst_node.online:
+            # the connection attempt times out
+            yield self.sim.timeout(self.connect_fail_delay)
+            raise OfflineError(f"target node {ctx.dst!r} is offline")
+
+        dst_node.messages_in += 1
+        dst_node.bytes_in += message.size
+
+        yield from self._server_unmarshal(message, policy, dst_node)
+        result = yield from self._serve(ctx, message, dst_node)
+        response = result if isinstance(result, Response) else Response(value=result)
+        yield from self._send_response(ctx, response, policy, src_node, dst_node)
+        return response.value
+
+    def _client_marshal(self, message: Message, policy: SecurityPolicy,
+                        src_node: NodeRuntime) -> Generator:
+        """Client-side marshalling + crypto share.
+
+        The two demands are co-scheduled as one CPU grant: they belong
+        to the same send path, and splitting them would change FCFS
+        ordering under load.
+        """
+        demand = self.marshal_cpu_per_kb * (message.size / 1024.0)
+        demand += policy.client_cpu_demand(message.size)
+        if demand > 0:
+            yield from src_node.cpu.execute(demand)
+
+    def _security_handshake(self, policy: SecurityPolicy, rtt: float) -> Generator:
+        """Transport security handshake latency (TLS round trips)."""
+        handshake = policy.handshake_latency(rtt)
+        if handshake > 0:
+            yield self.sim.timeout(handshake)
+
+    def _server_unmarshal(self, message: Message, policy: SecurityPolicy,
+                          dst_node: NodeRuntime) -> Generator:
+        """Server-side crypto + unmarshalling (one co-scheduled grant)."""
+        demand = self.marshal_cpu_per_kb * (message.size / 1024.0)
+        demand += policy.server_cpu_demand(message.size)
+        if demand > 0:
+            yield from dst_node.cpu.execute(demand)
+
+    def _serve(self, ctx: CallContext, message: Message,
+               dst_node: NodeRuntime) -> Generator:
+        """Dispatch to the handler (fault rules, inflight gauge, server span)."""
+        handler = dst_node.service(ctx.service)
+        if self.faults.enabled:
+            injected = self.faults.service_fault(ctx)
+            if injected is not None:
+                raise injected
+        obs = self.obs
+        dst_node.inflight_rpcs += 1
+        try:
+            if obs.enabled:
+                # Handlers run inline in the caller's process, so the server
+                # span usually nests under the ``rpc:`` span automatically.
+                # When the dispatch happens in a process with no active span
+                # (e.g. a retry-deadline runner started before the tracer
+                # existed) the envelope's trace context re-parents it.
+                parent = None
+                if obs.tracer.current_context() is None:
+                    parent = message.trace_ctx
+                with obs.tracer.span(
+                    f"serve:{ctx.service}.{ctx.method}", parent=parent, site=ctx.dst
+                ):
+                    result = yield from handler.dispatch(ctx.method, message)
+            else:
+                result = yield from handler.dispatch(ctx.method, message)
+        finally:
+            dst_node.inflight_rpcs -= 1
+        return result
+
+    def _send_response(self, ctx: CallContext, response: Response,
+                       policy: SecurityPolicy, src_node: NodeRuntime,
+                       dst_node: NodeRuntime) -> Generator:
+        """Crypto on the response body + the return transmission."""
+        resp_crypto = policy.server_cpu_demand(response.size) - policy.server_cpu_demand(0)
+        if resp_crypto > 0:
+            yield from dst_node.cpu.execute(resp_crypto)
+
+        yield from self._transmit(ctx.dst, ctx.src, response.size)
+        self.total_messages += 1
+        self.total_bytes += response.size
+        dst_node.messages_out += 1
+        dst_node.bytes_out += response.size
+        src_node.messages_in += 1
+        src_node.bytes_in += response.size
+
+    def call_with_timeout(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        method: str,
+        payload: Any = None,
+        size: int = 0,
+        timeout: float = 10.0,
+        security: Optional[SecurityPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> Generator:
+        """Like :meth:`call` but abandons the call after ``timeout``.
+
+        Raises :class:`RpcTimeout` when the deadline passes first.
+        Sugar for ``call(..., retry=RetryPolicy.single(timeout))``; a
+        ``retry`` policy without a per-attempt timeout inherits
+        ``timeout`` per attempt.
+        """
+        policy = retry if retry is not None else RetryPolicy.single(timeout)
+        value = yield from self.call(
+            src, dst, service, method, payload=payload, size=size,
+            security=security, retry=policy.with_per_try(timeout),
+        )
+        return value
 
 
 def payload_size(payload: Any) -> int:
@@ -379,9 +475,11 @@ def payload_size(payload: Any) -> int:
 
 
 __all__ = [
+    "CallContext",
     "Network",
     "NodeRuntime",
     "RemoteError",
+    "RetryPolicy",
     "RpcTimeout",
     "ServiceNotFound",
     "payload_size",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
+from repro.net.interceptors import Overloaded
 from repro.net.message import Message, Response
 from repro.simkernel import Simulator
 
@@ -31,6 +32,13 @@ class Service:
 
     Subclasses set :attr:`SERVICE_NAME` (or pass ``name``) and define
     generator methods ``op_<method>(self, message) -> value``.
+
+    Dispatch keeps separate success/failure tallies
+    (:attr:`requests_handled` counts only handlers that returned) and
+    optionally bounds admission: with :attr:`admission_limit` set, a
+    request arriving while that many are already in flight is shed
+    with :class:`~repro.net.interceptors.Overloaded` — a transient
+    error retry policies back off on.
     """
 
     SERVICE_NAME = "service"
@@ -40,6 +48,11 @@ class Service:
         self.node_name = node_name
         self.name = name or type(self).SERVICE_NAME
         self.requests_handled = 0
+        self.requests_failed = 0
+        self.requests_shed = 0
+        self.inflight = 0
+        #: max concurrent dispatches before shedding (None = unbounded)
+        self.admission_limit: int | None = None
         network.register_service(self)
 
     # -- environment helpers -------------------------------------------------
@@ -77,9 +90,24 @@ class Service:
         handler = getattr(self, f"op_{method}", None)
         if handler is None:
             raise UnknownOperation(f"{self.name} has no operation {method!r}")
-        self.requests_handled += 1
-        result = yield from handler(message)
-        return result
+        if self.admission_limit is not None and self.inflight >= self.admission_limit:
+            self.requests_shed += 1
+            raise Overloaded(
+                f"{self.name} on {self.node_name} shed {method!r}: "
+                f"{self.inflight} requests already in flight "
+                f"(limit {self.admission_limit})"
+            )
+        self.inflight += 1
+        try:
+            result = yield from handler(message)
+        except BaseException:
+            self.requests_failed += 1
+            raise
+        else:
+            self.requests_handled += 1
+            return result
+        finally:
+            self.inflight -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r} @ {self.node_name}>"

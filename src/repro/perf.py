@@ -23,6 +23,10 @@ proven not to change any simulated-time result:
   replica-aware transfers) whose deterministic simulated rollout times
   and byte counts gate the provisioning pipeline via
   ``BENCH_provisioning.json``;
+* :func:`bench_faults` / :func:`faults_fingerprint` — the Fig. 16
+  churn pair (fragile vs resilient under super-peer churn) whose
+  deterministic success rates, takeover latencies and outcome digests
+  gate the fault plane + recovery path via ``BENCH_faults.json``;
 * :func:`kernel_trace_fingerprint` / :func:`experiment_fingerprint` —
   deterministic digests of the seeded event trace and of end-to-end
   simulated outputs (byte totals, throughputs).  Two runs of the same
@@ -432,6 +436,132 @@ def compare_provisioning_baseline(
             failures.append(
                 f"provisioning fingerprint drift: {key} changed "
                 f"({fp.get(key)} vs {base_fp.get(key)})"
+            )
+    return failures
+
+
+# -- fault-plane / churn benchmark (Fig. 16) --------------------------------
+
+
+def bench_faults(seed: int = 33) -> BenchResult:
+    """The Fig. 16 churn pair: fragile vs resilient under super-peer churn.
+
+    Runs the full experiment including its built-in same-seed
+    determinism double-run; the headline rate is wall-clock (simulated
+    client requests per wall second across all three runs).  The
+    success rates, re-election and recovery figures in ``details`` are
+    simulated and deterministic.
+    """
+    from repro.experiments.fig16 import run_fig16
+
+    start = time.perf_counter()
+    fragile, resilient = run_fig16(seed=seed)
+    wall = time.perf_counter() - start
+    # the determinism verification re-runs the resilient point
+    requests = (fragile.resolutions + fragile.provisions
+                + 2 * (resilient.resolutions + resilient.provisions))
+    return BenchResult(
+        name="faults",
+        metric="sim_requests_per_wall_sec",
+        value=requests / wall,
+        wall_seconds=wall,
+        work_units=requests,
+        details={
+            "n_sites": resilient.n_sites,
+            "crashes": resilient.crashes,
+            "resilient_resolution_success": resilient.resolution_success_rate,
+            "fragile_resolution_success": fragile.resolution_success_rate,
+            "resilient_provision_success": resilient.provision_success_rate,
+            "fragile_provision_success": fragile.provision_success_rate,
+            "reelections": resilient.reelections,
+            "fragile_reelections": fragile.reelections,
+            "retries": resilient.retries,
+            "mean_recovery_s": resilient.mean_recovery_s,
+        },
+    )
+
+
+def faults_fingerprint(seed: int = 33) -> Dict[str, Any]:
+    """Deterministic digest of the churn experiment's behaviour.
+
+    Every figure is simulated (failure counts, takeover latencies,
+    per-request outcome digests), so two runs of the same tree must
+    match exactly; the committed ``BENCH_faults.json`` pins them.
+    """
+    from repro.experiments.fig16 import run_fig16_point
+
+    fragile = run_fig16_point(resilient=False, seed=seed)
+    resilient = run_fig16_point(resilient=True, seed=seed)
+    return {
+        "seed": seed,
+        "crashes": resilient.crashes,
+        "reelections": resilient.reelections,
+        "fragile_reelections": fragile.reelections,
+        "resilient_resolution_failures": resilient.resolution_failures,
+        "fragile_resolution_failures": fragile.resolution_failures,
+        "resilient_provision_failures": resilient.provision_failures,
+        "fragile_provision_failures": fragile.provision_failures,
+        "retries": resilient.retries,
+        "recovery_times": [repr(t) for t in resilient.recovery_times],
+        "fragile_result_digest": fragile.result_digest,
+        "resilient_result_digest": resilient.result_digest,
+    }
+
+
+def faults_suite(quick: bool = False) -> Dict[str, Any]:
+    """The ``BENCH_faults.json`` payload (bench + fingerprint)."""
+    result = bench_faults()
+    return {
+        "suite": "bench_faults",
+        "mode": "quick" if quick else "full",
+        "results": {result.name: result.to_dict()},
+        "fingerprint": faults_fingerprint(),
+    }
+
+
+def compare_faults_baseline(
+    suite: Dict[str, Any],
+    baseline: Dict[str, Any],
+    min_success: float = 0.95,
+) -> List[str]:
+    """Gate the fault plane + recovery path against a committed baseline.
+
+    All figures are deterministic, so the checks only trip on real
+    behaviour changes: the resilient series must keep ``min_success``
+    request success under churn, the fragile series must stay
+    measurably worse (the experiment's contrast), takeovers must
+    actually happen (and never without the detector), and the
+    per-request outcome digests must not drift.
+    """
+    failures: List[str] = []
+    current = suite["results"].get("faults", {}).get("details", {})
+    if current:
+        for key in ("resilient_resolution_success", "resilient_provision_success"):
+            rate = current.get(key, 0.0)
+            if rate < min_success:
+                failures.append(
+                    f"faults: {key} {rate:.3f} fell below the "
+                    f"required {min_success:.2f}"
+                )
+        if (current.get("fragile_resolution_success", 0.0)
+                >= current.get("resilient_resolution_success", 0.0)):
+            failures.append(
+                "faults: the fragile series no longer degrades under churn "
+                "(the experiment's contrast vanished)"
+            )
+        if current.get("reelections", 0) < 1:
+            failures.append("faults: no takeover happened in the resilient series")
+        if current.get("fragile_reelections", 0) != 0:
+            failures.append(
+                "faults: takeovers happened with the failure detector disabled"
+            )
+    fp, base_fp = suite.get("fingerprint", {}), baseline.get("fingerprint", {})
+    for key in ("fragile_result_digest", "resilient_result_digest",
+                "recovery_times", "crashes", "reelections"):
+        if key in base_fp and fp.get(key) != base_fp.get(key):
+            failures.append(
+                f"faults fingerprint drift: {key} changed "
+                f"({fp.get(key)!r} vs {base_fp.get(key)!r})"
             )
     return failures
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Union
 
+from repro.faults import FaultPlane, FaultsConfig
 from repro.glare.lifecycle import LifecycleController
 from repro.glare.provisioning import ProvisioningConfig
 from repro.glare.rdm import GlareRDMService, RDM_SERVICE
@@ -26,6 +27,7 @@ from repro.gram.service import GramService
 from repro.gridarm.reservation import ReservationService
 from repro.gridftp.service import GridFtpService, UrlCatalog
 from repro.mds.index import IndexService
+from repro.net.interceptors import RetryPolicy
 from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.net.transport import SecurityPolicy
@@ -73,6 +75,15 @@ class VOConfig:
     observability: Union[bool, Observability] = False
     #: gauge sampling period of the metrics recorder (when enabled)
     sample_interval: float = 5.0
+    #: fault scenario for the VO-wide fault plane (``None`` = disabled,
+    #: preserving the byte-identical baseline behaviour)
+    faults: Optional[FaultsConfig] = None
+    #: default retry policy for every RDM's outbound RPC (``None`` =
+    #: legacy single attempts; experiments opt in per series)
+    rpc_retry: Optional[RetryPolicy] = None
+    #: admission bound on each RDM frontend (``None`` = unbounded;
+    #: excess concurrent requests are shed with ``Overloaded``)
+    admission_limit: Optional[int] = None
 
 
 class SiteStack:
@@ -109,9 +120,10 @@ class VirtualOrganization:
                 enabled=bool(config.observability),
                 sample_interval=config.sample_interval,
             )
+        self.faults = FaultPlane(self.sim, config.faults)
         self.network = Network(
             self.sim, self.topology, security=security, obs=self.obs,
-            contention=config.contention,
+            contention=config.contention, faults=self.faults,
         )
         self.url_catalog = UrlCatalog()
         self.stacks: Dict[str, SiteStack] = {}
@@ -274,7 +286,10 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
             group_size=config.group_size,
             resolution=config.resolution,
             provisioning=config.provisioning,
+            retry_policy=config.rpc_retry,
         )
+        if config.admission_limit is not None:
+            stack.rdm.admission_limit = config.admission_limit
         if config.lifecycle:
             stack.lifecycle = LifecycleController(stack.rdm)
 
@@ -307,5 +322,8 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
     if vo.obs.enabled:
         vo.obs.recorder = MetricsRecorder(vo, interval=vo.obs.sample_interval)
         vo.obs.recorder.start()
+
+    # Fault plane: spawn the crash/churn schedules (no-op when disabled).
+    vo.faults.start()
 
     return vo

@@ -1,0 +1,77 @@
+"""Fig. 16: retries + overlay takeover must keep the VO serving
+through super-peer churn that visibly degrades the fragile baseline."""
+
+import pytest
+
+from repro import perf
+from repro.experiments.fig16 import format_fig16, run_fig16, run_fig16_point
+
+
+@pytest.fixture(scope="module")
+def quick_pair():
+    # quick sizes mirror ``run_fig16(quick=True)`` without the
+    # determinism double-run (covered by its own test below)
+    return run_fig16(seed=33, quick=True, verify_determinism=False)
+
+
+class TestFig16Pair:
+    def test_resilient_series_stays_available(self, quick_pair):
+        fragile, resilient = quick_pair
+        assert resilient.resolution_success_rate >= 0.95
+        assert resilient.provision_success_rate >= 0.95
+
+    def test_fragile_series_visibly_degrades(self, quick_pair):
+        fragile, resilient = quick_pair
+        assert fragile.resolution_failures > 0
+        assert fragile.resolution_success_rate < resilient.resolution_success_rate
+        assert fragile.provision_success_rate < resilient.provision_success_rate
+
+    def test_takeovers_only_with_the_detector_on(self, quick_pair):
+        fragile, resilient = quick_pair
+        assert resilient.reelections >= 1
+        assert fragile.reelections == 0
+        assert resilient.crashes == fragile.crashes > 0
+
+    def test_retries_engaged_and_recovery_measured(self, quick_pair):
+        fragile, resilient = quick_pair
+        assert resilient.retries > 0
+        assert len(resilient.recovery_times) == resilient.reelections
+        assert all(t > 0.0 for t in resilient.recovery_times)
+
+    def test_same_seed_reproduces_digest(self, quick_pair):
+        _, resilient = quick_pair
+        again = run_fig16(seed=33, quick=True, verify_determinism=False)[1]
+        assert again.result_digest == resilient.result_digest
+        assert again.recovery_times == resilient.recovery_times
+
+    def test_format_reports_both_series(self, quick_pair):
+        text = format_fig16(list(quick_pair))
+        assert "fragile" in text
+        assert "resilient" in text
+        assert "re-elections" in text
+        assert "takeover" in text
+
+
+class TestFaultsHarness:
+    def test_fingerprint_stable_across_runs(self):
+        first = perf.faults_fingerprint(seed=7)
+        again = perf.faults_fingerprint(seed=7)
+        assert first == again
+
+    def test_baseline_compare_flags_drift(self):
+        fingerprint = perf.faults_fingerprint(seed=7)
+        suite = {
+            "results": {"faults": {"details": {
+                "resilient_resolution_success": 1.0,
+                "resilient_provision_success": 1.0,
+                "fragile_resolution_success": 0.5,
+                "reelections": fingerprint["reelections"],
+                "fragile_reelections": 0,
+            }}},
+            "fingerprint": fingerprint,
+        }
+        baseline = {"fingerprint": dict(fingerprint)}
+        assert perf.compare_faults_baseline(suite, baseline) == []
+        baseline["fingerprint"]["resilient_result_digest"] = "deadbeef"
+        failures = perf.compare_faults_baseline(suite, baseline)
+        assert any("resilient_result_digest" in f for f in failures)

@@ -1,0 +1,102 @@
+"""Property tests for the shared retry policy and RemoteError wrapping.
+
+The retry engine is on the hot path of every resilient RPC, so its
+backoff arithmetic must be boringly predictable: deterministic for a
+given seed, monotone in the attempt number (up to the cap), and never
+allowed to burn more than the declared deadline budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.interceptors import Overloaded, RemoteError, RetryPolicy, RpcTimeout
+from repro.simkernel.errors import OfflineError
+from repro.simkernel.rng import RngRegistry
+
+
+policies = st.builds(
+    RetryPolicy,
+    attempts=st.integers(min_value=1, max_value=8),
+    base_delay=st.floats(min_value=0.0, max_value=30.0,
+                         allow_nan=False, allow_infinity=False),
+    multiplier=st.floats(min_value=1.0, max_value=4.0,
+                         allow_nan=False, allow_infinity=False),
+    backoff=st.sampled_from(["exponential", "linear"]),
+    max_delay=st.floats(min_value=0.1, max_value=120.0,
+                        allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0,
+                     allow_nan=False, allow_infinity=False),
+    deadline=st.one_of(
+        st.none(),
+        st.floats(min_value=0.1, max_value=300.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+)
+
+
+class TestBackoffProperties:
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=150)
+    def test_schedule_deterministic_per_seed(self, policy, seed):
+        first = policy.schedule(rng=RngRegistry(seed=seed))
+        again = policy.schedule(rng=RngRegistry(seed=seed))
+        assert first == again
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=150)
+    def test_schedule_never_exceeds_deadline(self, policy, seed):
+        delays = policy.schedule(rng=RngRegistry(seed=seed))
+        assert len(delays) <= policy.attempts - 1
+        if policy.deadline is not None:
+            assert sum(delays) <= policy.deadline
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=150)
+    def test_delays_nonnegative_and_capped(self, policy, seed):
+        rng = RngRegistry(seed=seed)
+        for attempt in range(1, policy.attempts + 1):
+            delay = policy.backoff_delay(attempt, rng=rng)
+            assert delay >= 0.0
+            # jitter is a fraction of the (already capped) base value
+            assert delay <= policy.max_delay * (1.0 + policy.jitter)
+
+    @given(policy=policies)
+    @settings(max_examples=100)
+    def test_unjittered_delay_monotone_until_cap(self, policy):
+        previous = 0.0
+        for attempt in range(1, policy.attempts + 1):
+            delay = policy.backoff_delay(attempt, rng=None)
+            assert delay >= previous or delay == policy.max_delay
+            previous = delay
+
+
+class TestRetryableClassification:
+    @given(attempts=st.integers(min_value=2, max_value=8))
+    def test_transport_errors_always_retryable(self, attempts):
+        policy = RetryPolicy(attempts=attempts)
+        for error in (OfflineError("x"), RpcTimeout("x"), Overloaded("x")):
+            assert policy.retryable(error)
+
+    @given(attempts=st.integers(min_value=2, max_value=8))
+    def test_plain_exceptions_not_retryable(self, attempts):
+        policy = RetryPolicy(attempts=attempts)
+        assert not policy.retryable(ValueError("x"))
+        assert not policy.retryable(RuntimeError("x"))
+
+
+class TestRemoteErrorProperties:
+    @given(name=st.sampled_from(
+        ["ValueError", "KeyError", "XmlParseError", "IndexMeltdown"]),
+        text=st.text(min_size=0, max_size=40))
+    def test_error_type_preserves_original_name(self, name, text):
+        cause = type(name, (Exception,), {})(text)
+        error = RemoteError(cause)
+        assert error.error_type == name
+        assert not error.transient
+
+    @given(text=st.text(min_size=0, max_size=40))
+    def test_transient_cause_makes_wrapper_transient(self, text):
+        # ``transient`` is carried as an attribute on the cause
+        # (transport errors are classified via TRANSIENT_ERRORS instead)
+        assert RemoteError(Overloaded(text)).transient
+        assert not RemoteError(ValueError(text)).transient
