@@ -24,6 +24,8 @@ Usage::
         --check-provisioning BENCH_provisioning.json
     python benchmarks/bench_wallclock.py --faults \
         --check-faults BENCH_faults.json
+    python benchmarks/bench_wallclock.py --obs \
+        --check-obs BENCH_obs.json
 
 ``--check-baseline`` enforces the two gates against a committed
 baseline file: rate metrics must not regress by more than
@@ -49,6 +51,15 @@ run, and the deployment-set digests must match exactly.
 churn, the fragile series must stay measurably worse, takeovers must
 happen exactly when the detector is on, and the per-request outcome
 digests must match exactly.
+
+``--obs`` runs the observability-overhead tiers (null / tracer+metrics
+/ tracer+metrics+SLOs over the same echo workload) plus the quick
+Fig. 16 SLO pair, and emits/gates ``BENCH_obs.json``: the overhead
+*fractions* must stay under the absolute cap and must not grow more
+than ``--max-overhead-increase`` over the committed baseline, every
+scheduled crash must be detected, the fragile/resilient error-budget
+verdicts must keep their contrast, and the detection/repair/digest
+fingerprints must match exactly.
 
 Wall-clock rates vary across machines; the committed baseline is only
 a tripwire for large same-machine-family regressions, which is why the
@@ -136,6 +147,30 @@ def _print_provisioning_summary(suite) -> None:
     )
 
 
+def _print_obs_summary(suite) -> None:
+    result = suite["results"]["obs"]
+    details = result["details"]
+    fp = suite["fingerprint"]
+    print(f"bench_obs ({suite['mode']}, {details['clients']} clients)")
+    print(
+        f"  obs {result['value']:>19,.0f} {result['metric']:<30s}"
+        f" ({result['wall_seconds']:.3f}s wall)"
+    )
+    print(
+        f"  rpcs/wall-sec  null {details['null_rpcs_per_wall_sec']:,.0f}"
+        f"  +obs {details['obs_rpcs_per_wall_sec']:,.0f}"
+        f" ({100 * details['obs_overhead_frac']:.1f}%)"
+        f"  +slo {details['slo_rpcs_per_wall_sec']:,.0f}"
+        f" ({100 * details['slo_overhead_frac']:.1f}%)"
+    )
+    detected = fp["crashes"] * 2 - fp["undetected_crashes"]
+    print(
+        f"  crash detection  {detected}/{fp['crashes'] * 2} across both "
+        f"series  verdicts fragile={fp['fragile_verdicts']['client-availability']}"
+        f" resilient={fp['resilient_verdicts']['client-availability']}"
+    )
+
+
 def _print_faults_summary(suite) -> None:
     result = suite["results"]["faults"]
     details = result["details"]
@@ -188,7 +223,35 @@ def main(argv=None) -> int:
     parser.add_argument("--min-success", type=float, default=0.95,
                         help="required resilient success rate under churn "
                              "(default 0.95)")
+    parser.add_argument("--obs", action="store_true",
+                        help="run the observability-overhead tiers instead")
+    parser.add_argument("--check-obs", metavar="PATH",
+                        help="fail on overhead growth / judgement drift vs this file")
+    parser.add_argument("--max-overhead-increase", type=float, default=0.15,
+                        help="tolerated growth of the instrumentation overhead "
+                             "fraction over baseline (default 0.15)")
     args = parser.parse_args(argv)
+
+    if args.obs or args.check_obs:
+        suite = perf.obs_suite(quick=args.quick)
+        _print_obs_summary(suite)
+        if args.output:
+            perf.dump_suite(suite, args.output)
+            print(f"wrote {args.output}")
+        if args.check_obs:
+            with open(args.check_obs) as handle:
+                baseline = json.load(handle)
+            failures = perf.compare_obs_baseline(
+                suite, baseline,
+                max_overhead_increase=args.max_overhead_increase,
+            )
+            if failures:
+                print("FAIL:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print(f"obs baseline check passed ({args.check_obs})")
+        return 0
 
     if args.faults or args.check_faults:
         suite = perf.faults_suite(quick=args.quick)

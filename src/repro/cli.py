@@ -9,11 +9,15 @@ Usage::
     python -m repro fig13 [--quick]
     python -m repro fig14 [--quick]
     python -m repro fig15 [--quick]
-    python -m repro fig16 [--quick]
+    python -m repro fig16 [--quick] [--report-out FILE]
     python -m repro all [--quick]
-    python -m repro trace [deploy|lookup|election] [--chrome-out FILE]
+    python -m repro trace [deploy|lookup|election|churn] [--chrome-out FILE]
                           [--jsonl-out FILE]
-    python -m repro metrics [deploy|lookup|election]
+    python -m repro metrics [SCENARIO] [--format text|json|csv]
+    python -m repro health  [SCENARIO] [--format text|json|csv]
+    python -m repro slo     [SCENARIO]
+    python -m repro analyze [SCENARIO] [--top N]
+    python -m repro report  [SCENARIO]
 
 Each experiment command rebuilds the corresponding table/figure of the
 paper on the simulated Grid and prints the rows/series.  ``--quick``
@@ -22,9 +26,16 @@ pass.
 
 ``trace`` runs a representative scenario on an observability-enabled VO
 and prints every captured trace as an indented span tree (optionally
-exporting Chrome trace-event JSON / JSONL); ``metrics`` runs the same
-scenario and prints the counters, latency histograms and sampled gauge
-series instead.
+exporting Chrome trace-event JSON / JSONL — gauge series ride along as
+counter events); ``metrics`` prints the counters, latency histograms
+and sampled gauge series.  The health/SLO plane has its own views:
+``health`` prints node/service states and the transition log, ``slo``
+prints the error-budget table, burn-rate alert log and crash-detection
+timeline, ``analyze`` prints trace critical paths / self-time
+breakdowns / slowest-trace waterfalls, and ``report`` prints the
+unified run report (all of the above for one scenario).  Scenario
+defaults: ``churn`` for health/slo (it is the only one with faults),
+``deploy`` otherwise.
 """
 
 from __future__ import annotations
@@ -100,10 +111,23 @@ def _run_fig15(quick: bool) -> str:
     return format_fig15(run_fig15(sizes=sizes))
 
 
-def _run_fig16(quick: bool) -> str:
-    from repro.experiments.fig16 import format_fig16, run_fig16
+def _run_fig16(quick: bool, report_out: Optional[str] = None) -> str:
+    from repro.experiments.fig16 import (
+        format_fig16,
+        format_fig16_slo,
+        run_fig16,
+        run_fig16_slo,
+    )
 
-    return format_fig16(run_fig16(quick=quick))
+    text = format_fig16(run_fig16(quick=quick))
+    fragile, resilient = run_fig16_slo(quick=quick)
+    slo_text = format_fig16_slo(fragile, resilient)
+    if report_out:
+        with open(report_out, "w") as stream:
+            stream.write(slo_text + "\n\n" + fragile.report
+                         + "\n\n" + resilient.report + "\n")
+        slo_text += f"\n\nwrote the full health/SLO report to {report_out}"
+    return text + "\n\n" + slo_text
 
 
 COMMANDS = {
@@ -117,10 +141,21 @@ COMMANDS = {
     "fig16": _run_fig16,
 }
 
-#: scenario names accepted by the trace/metrics subcommands (mirrors
+#: scenario names accepted by the observability subcommands (mirrors
 #: repro.obs.scenarios.SCENARIOS; kept literal so --help never imports
 #: the VO machinery)
-SCENARIO_NAMES = ("deploy", "lookup", "election")
+SCENARIO_NAMES = ("deploy", "lookup", "election", "churn")
+
+#: observability subcommands and the scenario each defaults to (the
+#: health/SLO views need the only scenario that injects faults)
+OBS_COMMANDS = {
+    "trace": "deploy",
+    "metrics": "deploy",
+    "health": "churn",
+    "slo": "churn",
+    "analyze": "deploy",
+    "report": "churn",
+}
 
 
 def _run_trace(scenario: str, chrome_out: Optional[str],
@@ -139,7 +174,8 @@ def _run_trace(scenario: str, chrome_out: Optional[str],
         sections.append("(no spans captured)")
     if chrome_out:
         with open(chrome_out, "w") as stream:
-            events = export_chrome(tracer.spans, stream)
+            events = export_chrome(tracer.spans, stream,
+                                   registry=vo.obs.metrics)
         sections.append(f"wrote {events} Chrome trace events to {chrome_out}")
     if jsonl_out:
         with open(jsonl_out, "w") as stream:
@@ -148,13 +184,74 @@ def _run_trace(scenario: str, chrome_out: Optional[str],
     return "\n\n".join(sections)
 
 
-def _run_metrics(scenario: str) -> str:
-    from repro.obs.export import render_metrics
+def _run_metrics(scenario: str, fmt: str = "text") -> str:
+    import json as _json
+
+    from repro.obs.export import metrics_to_csv, metrics_to_dict, render_metrics
     from repro.obs.scenarios import run_scenario
     from repro.stats import collect_metrics
 
     vo = run_scenario(scenario)
+    if fmt == "json":
+        return _json.dumps(metrics_to_dict(vo.obs.metrics), indent=2,
+                           sort_keys=True)
+    if fmt == "csv":
+        return metrics_to_csv(vo.obs.metrics).rstrip("\n")
     return render_metrics(vo.obs.metrics) + "\n\n" + collect_metrics(vo).render()
+
+
+def _run_health(scenario: str, fmt: str = "text") -> str:
+    import json as _json
+
+    from repro.obs.export import health_to_csv, health_to_dict, render_health
+    from repro.obs.scenarios import run_scenario
+
+    vo = run_scenario(scenario)
+    health = vo.obs.health
+    if health is None:
+        return "(health registry disabled for this scenario)"
+    if fmt == "json":
+        return _json.dumps(health_to_dict(health), indent=2, sort_keys=True)
+    if fmt == "csv":
+        return health_to_csv(health).rstrip("\n")
+    return render_health(health)
+
+
+def _run_slo(scenario: str) -> str:
+    from repro.obs.export import render_alerts, render_slo
+    from repro.obs.health import detection_timeline
+    from repro.obs.scenarios import run_scenario
+
+    vo = run_scenario(scenario)
+    engine = vo.obs.slo
+    if engine is None:
+        return "(no SLOs configured for this scenario)"
+    sections = [render_slo(engine), render_alerts(engine)]
+    crashes = [e for e in vo.faults.events if e.get("kind") == "crash"]
+    if crashes:
+        lines = ["Crash detection"]
+        for rec in detection_timeline(vo.faults.events, engine.alert_log):
+            mttd = f"{rec.mttd:.2f}s" if rec.mttd is not None else "UNDETECTED"
+            mttr = f"{rec.mttr:.2f}s" if rec.mttr is not None else "-"
+            lines.append(f"  {rec.site} crashed t={rec.crash_at:.2f}s: "
+                         f"detected in {mttd}, incident closed in {mttr}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def _run_analyze(scenario: str, top: int = 3) -> str:
+    from repro.obs.analyze import format_trace_analytics
+    from repro.obs.scenarios import run_scenario
+
+    vo = run_scenario(scenario)
+    return format_trace_analytics(vo.obs.tracer.traces(), top=top)
+
+
+def _run_report(scenario: str, top: int = 3) -> str:
+    from repro.obs.export import render_run_report
+    from repro.obs.scenarios import run_scenario
+
+    return render_run_report(run_scenario(scenario), top=top)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -165,14 +262,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "trace", "metrics"],
-        help="which evaluation artefact to regenerate, or "
-             "trace/metrics to observe a canned scenario",
+        choices=sorted(COMMANDS) + ["all"] + sorted(OBS_COMMANDS),
+        help="which evaluation artefact to regenerate, or an "
+             "observability view (trace/metrics/health/slo/analyze/"
+             "report) over a canned scenario",
     )
     parser.add_argument(
-        "scenario", nargs="?", default="deploy", choices=SCENARIO_NAMES,
-        help="scenario for the trace/metrics subcommands "
-             "(default: deploy)",
+        "scenario", nargs="?", default=None, choices=SCENARIO_NAMES,
+        help="scenario for the observability subcommands (default: "
+             "churn for health/slo/report, deploy otherwise)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -180,27 +278,52 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--chrome-out", metavar="FILE", default=None,
-        help="trace only: also write Chrome trace-event JSON "
-             "(load in chrome://tracing or ui.perfetto.dev)",
+        help="trace only: also write Chrome trace-event JSON with gauge "
+             "counter tracks (load in chrome://tracing or ui.perfetto.dev)",
     )
     parser.add_argument(
         "--jsonl-out", metavar="FILE", default=None,
         help="trace only: also write one JSON object per span",
     )
+    parser.add_argument(
+        "--format", choices=("text", "json", "csv"), default="text",
+        help="metrics/health only: output format (default: text)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=3, metavar="N",
+        help="analyze/report only: how many slowest traces to break down",
+    )
+    parser.add_argument(
+        "--report-out", metavar="FILE", default=None,
+        help="fig16 only: write the rendered health/SLO extension "
+             "report to FILE",
+    )
     args = parser.parse_args(argv)
 
-    if args.experiment == "trace":
-        print(_run_trace(args.scenario, args.chrome_out, args.jsonl_out))
-        return 0
-    if args.experiment == "metrics":
-        print(_run_metrics(args.scenario))
+    if args.experiment in OBS_COMMANDS:
+        scenario = args.scenario or OBS_COMMANDS[args.experiment]
+        if args.experiment == "trace":
+            print(_run_trace(scenario, args.chrome_out, args.jsonl_out))
+        elif args.experiment == "metrics":
+            print(_run_metrics(scenario, fmt=args.format))
+        elif args.experiment == "health":
+            print(_run_health(scenario, fmt=args.format))
+        elif args.experiment == "slo":
+            print(_run_slo(scenario))
+        elif args.experiment == "analyze":
+            print(_run_analyze(scenario, top=args.top))
+        else:
+            print(_run_report(scenario, top=args.top))
         return 0
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
         print(f"=== {name} " + "=" * (70 - len(name)))
-        print(COMMANDS[name](args.quick))
+        if name == "fig16":
+            print(_run_fig16(args.quick, report_out=args.report_out))
+        else:
+            print(COMMANDS[name](args.quick))
         print(f"--- {name} done in {time.time() - started:.1f}s\n")
     return 0
 

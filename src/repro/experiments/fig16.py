@@ -53,6 +53,8 @@ from repro.glare.errors import GlareError
 from repro.glare.model import ActivityDeployment, DeploymentKind, DeploymentStatus
 from repro.glare.rdm import RDM_SERVICE
 from repro.net.interceptors import RetryPolicy
+from repro.obs.health import detection_timeline
+from repro.obs.slo import CALL, BurnRateRule, SLOSpec
 from repro.vo import build_vo
 
 GROUP_SIZE = 5
@@ -89,6 +91,30 @@ PROVISION_RETRY = RetryPolicy(
     retry_on=(GlareError,),
 )
 
+#: objectives for the SLO extension pair (:func:`run_fig16_slo`):
+#: the *attempt*-level objective is the detector — every pipeline pass
+#: against a crashed super-peer is a bad SLI event, so its fast
+#: burn-rate alert is what notices each crash; the *call*-level
+#: objective is the verdict — it sees only the post-retry outcome the
+#: client saw, so it separates the fragile series (budget exhausted)
+#: from the resilient one (budget met) over the identical schedule.
+FIG16_SLOS = (
+    SLOSpec(
+        name="rdm-attempt-availability", endpoint="glare-rdm.*",
+        target=0.99,
+        # threshold 1.0 = any sustained budget burn: with the detector
+        # on, a takeover can mask a crash within one probe period, so
+        # the weakest crash signature is only a handful of bad attempts
+        # per window (~1.2-2.0x burn) while quiet-period noise stays
+        # below 0.6x — 1.0 splits the two with margin on both sides
+        alerts=(BurnRateRule("fast", window=30.0, threshold=1.0),),
+    ),
+    SLOSpec(
+        name="client-availability", endpoint="glare-rdm.get_deployments",
+        target=0.95, level=CALL, alerts=(),
+    ),
+)
+
 
 @dataclass
 class Fig16Point:
@@ -106,6 +132,26 @@ class Fig16Point:
     retries: int
     recovery_times: List[float] = field(default_factory=list)
     result_digest: str = ""
+    # -- SLO extension (populated only when the run declared SLOs) ----------
+    alerts_fired: int = 0
+    detection_latencies: List[float] = field(default_factory=list)
+    repair_times: List[float] = field(default_factory=list)
+    undetected_crashes: int = 0
+    slo_verdicts: Dict[str, str] = field(default_factory=dict)
+    #: the rendered health/SLO report (CI artifact payload)
+    report: str = ""
+
+    @property
+    def mean_detection_s(self) -> float:
+        if not self.detection_latencies:
+            return float("nan")
+        return sum(self.detection_latencies) / len(self.detection_latencies)
+
+    @property
+    def mean_repair_s(self) -> float:
+        if not self.repair_times:
+            return float("nan")
+        return sum(self.repair_times) / len(self.repair_times)
 
     @property
     def resolution_success_rate(self) -> float:
@@ -151,8 +197,16 @@ def run_fig16_point(
     resolve_period: float = 8.0,
     resolve_rounds: int = 40,
     provision_times: Sequence[float] = (40.0, 75.0, 165.0, 255.0),
+    slos: Tuple[SLOSpec, ...] = (),
 ) -> Fig16Point:
-    """One series: the full workload under the churn schedule."""
+    """One series: the full workload under the churn schedule.
+
+    With ``slos`` the VO carries the SLO engine + health registry and
+    the returned point additionally reports burn-rate alerts, per-crash
+    detection latencies (MTTD), incident repair times (MTTR) and the
+    error-budget verdicts.  The default (no SLOs) is the byte-identical
+    digest-pinned configuration gated by ``BENCH_faults.json``.
+    """
     vo = build_vo(
         n_sites=n_sites,
         seed=seed,
@@ -163,6 +217,7 @@ def run_fig16_point(
         faults=FaultsConfig(
             churn_times=tuple(churn_times), churn_downtime=churn_downtime
         ),
+        slos=slos,
     )
     # The detector knob is the series switch; it must be set before the
     # election because probe loops start when the first view lands.
@@ -305,6 +360,35 @@ def run_fig16_point(
                 recovery_times.append(takeover["at"] - crash["at"])
                 break
 
+    # -- SLO extension: detection/repair analytics + rendered report ---------
+    alerts_fired = 0
+    detection_latencies: List[float] = []
+    repair_times: List[float] = []
+    undetected = 0
+    verdicts: Dict[str, str] = {}
+    report = ""
+    if vo.obs.slo is not None:
+        from repro.obs.export import render_alerts, render_health, render_slo
+
+        engine = vo.obs.slo
+        engine.evaluate()  # final tick: resolve anything still burning
+        alerts_fired = engine.alerts_fired()
+        verdicts = engine.verdicts()
+        for rec in detection_timeline(vo.faults.events, engine.alert_log):
+            if rec.mttd is None:
+                undetected += 1
+                continue
+            detection_latencies.append(rec.mttd)
+            if rec.mttr is not None:
+                repair_times.append(rec.mttr)
+        series = "resilient" if resilient else "fragile"
+        report = "\n\n".join([
+            f"fig16 SLO extension — {series} series",
+            render_slo(engine),
+            render_alerts(engine),
+            render_health(vo.obs.health),
+        ])
+
     return Fig16Point(
         resilient=resilient,
         n_sites=n_sites,
@@ -320,6 +404,12 @@ def run_fig16_point(
         result_digest=hashlib.sha256(
             "\n".join(sorted(records)).encode()
         ).hexdigest(),
+        alerts_fired=alerts_fired,
+        detection_latencies=detection_latencies,
+        repair_times=repair_times,
+        undetected_crashes=undetected,
+        slo_verdicts=verdicts,
+        report=report,
     )
 
 
@@ -357,6 +447,104 @@ def run_fig16(
                 f"{seed}: {resilient.result_digest} != {repeat.result_digest}"
             )
     return [fragile, resilient]
+
+
+def run_fig16_slo(
+    seed: int = 33,
+    quick: bool = False,
+    verify_determinism: bool = True,
+) -> Tuple[Fig16Point, Fig16Point]:
+    """The SLO-instrumented pair: same workload, observability judged.
+
+    Runs the fragile and resilient series with :data:`FIG16_SLOS`
+    declared, on a churn schedule spaced so every incident can close
+    before the next crash (the sequential crash↔alert pairing in
+    :func:`~repro.obs.health.detection_timeline` needs quiet gaps;
+    the digest-pinned :func:`run_fig16` schedule is left untouched).
+
+    Asserts the observability claims the extension is about:
+
+    * every scheduled crash is *detected* — the attempt-level burn-rate
+      alert fires after each one (zero undetected crashes, both series);
+    * detection is *deterministic* — a second resilient run must agree
+      on digest, detection latencies and repair times bit-for-bit.
+    """
+    kwargs: Dict = {"seed": seed, "slos": FIG16_SLOS}
+    if quick:
+        kwargs.update(
+            n_sites=10,
+            churn_times=(40.0, 140.0),
+            churn_downtime=40.0,
+            n_clients=3,
+            resolve_start=15.0,
+            resolve_period=8.0,
+            resolve_rounds=20,
+            provision_times=(25.0, 50.0, 120.0),
+        )
+    else:
+        kwargs.update(churn_times=(60.0, 170.0, 280.0))
+    fragile = run_fig16_point(resilient=False, **kwargs)
+    resilient = run_fig16_point(resilient=True, **kwargs)
+    for point in (fragile, resilient):
+        if point.crashes and point.undetected_crashes:
+            series = "resilient" if point.resilient else "fragile"
+            raise AssertionError(
+                f"fig16 SLO extension: {point.undetected_crashes} of "
+                f"{point.crashes} crashes went undetected in the "
+                f"{series} series (alerts fired: {point.alerts_fired})"
+            )
+    if verify_determinism:
+        repeat = run_fig16_point(resilient=True, **kwargs)
+        if (repeat.result_digest != resilient.result_digest
+                or repeat.detection_latencies != resilient.detection_latencies
+                or repeat.repair_times != resilient.repair_times):
+            raise AssertionError(
+                "fig16 SLO extension is not deterministic for seed "
+                f"{seed}: MTTD {resilient.detection_latencies} != "
+                f"{repeat.detection_latencies} or MTTR "
+                f"{resilient.repair_times} != {repeat.repair_times}"
+            )
+    return fragile, resilient
+
+
+def format_fig16_slo(fragile: Fig16Point, resilient: Fig16Point) -> str:
+    """Render the detection/verdict comparison of the SLO pair."""
+    headers = [
+        "series", "crashes", "alerts", "detected", "mean-MTTD-s",
+        "mean-MTTR-s", "attempt-SLO", "call-SLO",
+    ]
+    rows = []
+    for p in (fragile, resilient):
+        detected = p.crashes - p.undetected_crashes
+        rows.append([
+            "resilient" if p.resilient else "fragile",
+            p.crashes,
+            p.alerts_fired,
+            f"{detected}/{p.crashes}",
+            ("-" if not p.detection_latencies else f"{p.mean_detection_s:.1f}"),
+            ("-" if not p.repair_times else f"{p.mean_repair_s:.1f}"),
+            p.slo_verdicts.get("rdm-attempt-availability", "-"),
+            p.slo_verdicts.get("client-availability", "-"),
+        ])
+    out = [format_table(
+        headers, rows,
+        title="Fig. 16 (SLO extension) — crash detection and error budgets",
+    )]
+    for p in (fragile, resilient):
+        if p.detection_latencies:
+            series = "resilient" if p.resilient else "fragile"
+            mttds = ", ".join(f"{t:.1f}s" for t in p.detection_latencies)
+            mttrs = (", ".join(f"{t:.1f}s" for t in p.repair_times)
+                     if p.repair_times else "-")
+            out.append(f"{series} detection latencies: {mttds}; "
+                       f"incident repair times: {mttrs}")
+    out.append(
+        "attempt-SLO = server-side availability per pipeline pass (its "
+        "burn-rate alert is the crash detector); call-SLO = what clients "
+        "saw after retries — met for the resilient series, exhausted for "
+        "the fragile one."
+    )
+    return "\n".join(out)
 
 
 def format_fig16(points: List[Fig16Point]) -> str:

@@ -139,6 +139,8 @@ class FaultPlane:
         self.churn_selector: Optional[Callable[[], Optional[str]]] = None
         #: chronological injection log (crash/restart rounds)
         self.events: List[Dict] = []
+        #: callables receiving each event as it is logged (health plane)
+        self.listeners: List[Callable[[Dict], None]] = []
         self.crashes_induced = 0
         self.link_faults_injected = 0
         self.service_errors_injected = 0
@@ -174,15 +176,21 @@ class FaultPlane:
             yield self.sim.timeout(at - self.sim.now)
         yield from self._down_up(site, down_for)
 
+    def _emit(self, event: Dict) -> None:
+        """Log one event and fan it out to registered listeners."""
+        self.events.append(event)
+        for listener in self.listeners:
+            listener(event)
+
     def _down_up(self, site: str, down_for: Optional[float]):
         self.network.set_online(site, False)
         self.crashes_induced += 1
-        self.events.append({"kind": "crash", "site": site, "at": self.sim.now})
+        self._emit({"kind": "crash", "site": site, "at": self.sim.now})
         if down_for is None:
             return
         yield self.sim.timeout(down_for)
         self.network.set_online(site, True)
-        self.events.append({"kind": "restart", "site": site, "at": self.sim.now})
+        self._emit({"kind": "restart", "site": site, "at": self.sim.now})
 
     def _churn_proc(self):
         for index, when in enumerate(self.config.churn_times):
@@ -190,7 +198,7 @@ class FaultPlane:
                 yield self.sim.timeout(when - self.sim.now)
             victim = self._pick_victim()
             if victim is None or not self.network.is_online(victim):
-                self.events.append(
+                self._emit(
                     {"kind": "churn-skip", "site": victim, "at": self.sim.now}
                 )
                 continue

@@ -163,6 +163,34 @@ class MetricsInterceptor(Interceptor):
         return value
 
 
+class SLOInterceptor(Interceptor):
+    """Feed attempt-level request outcomes into the SLO engine.
+
+    Sits *inside* the retry layer, so every pipeline pass — including
+    each retry of a flaky call — is one service-level-indicator event:
+    the server-side view of reliability.  The client-side (post-retry)
+    view is recorded at the call level by ``Network.call`` itself.
+    Installed only when the VO declares SLOs.
+    """
+
+    name = "slo"
+
+    def __init__(self, network) -> None:
+        self.network = network
+
+    def intercept(self, ctx: CallContext, call_next) -> Generator:
+        sim = self.network.sim
+        engine = self.network.obs.slo
+        started = sim.now
+        ok = False
+        try:
+            value = yield from call_next(ctx)
+            ok = True
+        finally:
+            engine.record(ctx.endpoint, started, sim.now, ok)
+        return value
+
+
 class FaultInterceptor(Interceptor):
     """Inject link-level faults (loss, partitions) from the fault plane.
 
@@ -310,6 +338,7 @@ __all__ = [
     "RemoteError",
     "RetryPolicy",
     "RpcTimeout",
+    "SLOInterceptor",
     "TRANSIENT_ERRORS",
     "TraceInterceptor",
     "compose",

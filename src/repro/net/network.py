@@ -28,6 +28,7 @@ from repro.net.interceptors import (
     RemoteError,
     RetryPolicy,
     RpcTimeout,
+    SLOInterceptor,
     TraceInterceptor,
     compose,
 )
@@ -36,6 +37,7 @@ from repro.net.topology import Topology
 from repro.net.transport import SecurityPolicy
 from repro.obs import Observability
 from repro.obs import disabled as _disabled_observability
+from repro.obs.slo import CALL as SLO_CALL_LEVEL
 from repro.simkernel import CPU, Simulator
 from repro.simkernel.errors import OfflineError, SimulationError
 
@@ -126,6 +128,8 @@ class Network:
         self.security = security or SecurityPolicy.http()
         self.obs = obs if obs is not None else _disabled_observability()
         self.obs.bind(sim)
+        #: health registry shared with ``Service.dispatch`` (may be None)
+        self.health = self.obs.health
         if faults is None:
             # deferred import: repro.faults itself imports the pipeline
             from repro.faults import FaultPlane
@@ -155,6 +159,10 @@ class Network:
         if self.obs.enabled:
             layers.append(TraceInterceptor(self))
             layers.append(MetricsInterceptor(self))
+        if self.obs.slo is not None:
+            # inside trace/metrics, outside faults: each SLI event also
+            # sees the faults the fault layer injects below it
+            layers.append(SLOInterceptor(self))
         if self.faults.enabled:
             layers.append(FaultInterceptor(self))
         self.interceptors = layers
@@ -241,10 +249,27 @@ class Network:
         errors back off and retry within the deadline budget).
         """
         ctx = CallContext(src, dst, service, method, payload, size, security)
-        if retry is not None and retry.engaged:
-            value = yield from self._call_with_policy(ctx, retry)
-        else:
-            value = yield from self._invoke(ctx)
+        engine = self.obs.slo
+        if engine is None:
+            if retry is not None and retry.engaged:
+                value = yield from self._call_with_policy(ctx, retry)
+            else:
+                value = yield from self._invoke(ctx)
+            return value
+        # call-level SLI: one event per client-visible outcome, after
+        # the whole retry loop resolved (attempt-level events come from
+        # the SLOInterceptor inside the pipeline)
+        started = self.sim.now
+        ok = False
+        try:
+            if retry is not None and retry.engaged:
+                value = yield from self._call_with_policy(ctx, retry)
+            else:
+                value = yield from self._invoke(ctx)
+            ok = True
+        finally:
+            engine.record(ctx.endpoint, started, self.sim.now, ok,
+                          level=SLO_CALL_LEVEL)
         return value
 
     # -- retry layer -----------------------------------------------------------

@@ -90,8 +90,11 @@ class Service:
         handler = getattr(self, f"op_{method}", None)
         if handler is None:
             raise UnknownOperation(f"{self.name} has no operation {method!r}")
+        health = self.network.health
         if self.admission_limit is not None and self.inflight >= self.admission_limit:
             self.requests_shed += 1
+            if health is not None:
+                health.record_dispatch(self.node_name, self.name, ok=False)
             raise Overloaded(
                 f"{self.name} on {self.node_name} shed {method!r}: "
                 f"{self.inflight} requests already in flight "
@@ -102,9 +105,13 @@ class Service:
             result = yield from handler(message)
         except BaseException:
             self.requests_failed += 1
+            if health is not None:
+                health.record_dispatch(self.node_name, self.name, ok=False)
             raise
         else:
             self.requests_handled += 1
+            if health is not None:
+                health.record_dispatch(self.node_name, self.name, ok=True)
             return result
         finally:
             self.inflight -= 1

@@ -303,10 +303,17 @@ class MetricsRecorder:
         self._proc = None
 
     def sample_once(self) -> None:
-        """Take one sample of every gauge right now."""
+        """Take one sample of every gauge right now.
+
+        Offline nodes (crashed by the fault plane) are skipped, so an
+        outage shows up as a *gap* in that site's series — exactly how
+        a scrape-based monitoring stack sees a dead target.
+        """
         registry = self.registry
         for name, stack in self.vo.stacks.items():
             runtime = self.vo.network.node(name)
+            if not runtime.online:
+                continue
             registry.sample("site.load", stack.site.loadavg.value, site=name)
             registry.sample("site.run_queue",
                             runtime.cpu.run_queue_length, site=name)

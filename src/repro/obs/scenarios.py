@@ -14,9 +14,17 @@ metrics dump:
   the second is served from the site cache (the Fig. 12 contrast).
 * ``election`` — the two-phase super-peer election plus one resolution
   over the formed overlay.
+* ``churn``    — a crash/restart of the activity type's home site under
+  a retrying client workload, with SLOs declared: the burn-rate alert
+  fires during the outage, the health registry walks the node through
+  ``down -> recovering -> healthy``, and the error-budget table shows
+  the attempt-level objective burning while the call-level one holds.
 
 Each scenario returns the finished :class:`~repro.vo.VirtualOrganization`
-with its tracer and metrics registry populated.
+with its tracer and metrics registry populated (and, for ``churn``, the
+SLO engine and health registry).  Every scenario also audits the span
+lifecycle: a span left open by a *dead* process is an error-path leak,
+and :func:`run_scenario` raises on it.
 
 This module imports :mod:`repro.vo` and must therefore only be loaded
 lazily (the CLI does); the rest of :mod:`repro.obs` stays a leaf
@@ -31,12 +39,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.vo import VirtualOrganization
 
 
-def _build(n_sites: int = 4, seed: int = 7) -> "VirtualOrganization":
+def _default_slos():
+    """The objectives every scenario declares over the RDM frontend."""
+    from repro.obs.slo import BurnRateRule, SLOSpec
+
+    return (
+        SLOSpec(name="rdm-attempts", endpoint="glare-rdm.*", target=0.99,
+                alerts=(BurnRateRule("fast", window=30.0, threshold=2.0),)),
+        SLOSpec(name="rdm-calls", endpoint="glare-rdm.get_deployments",
+                target=0.95, level="call", alerts=()),
+    )
+
+
+def _build(n_sites: int = 4, seed: int = 7, **overrides) -> "VirtualOrganization":
     from repro.apps import publish_applications
     from repro.vo import build_vo
 
     vo = build_vo(n_sites=n_sites, seed=seed, monitors=False,
-                  observability=True, sample_interval=2.0)
+                  observability=True, sample_interval=2.0,
+                  slos=_default_slos(), **overrides)
     publish_applications(vo, ["Wien2k"])
     return vo
 
@@ -80,19 +101,71 @@ def scenario_election() -> "VirtualOrganization":
     return vo
 
 
+def scenario_churn() -> "VirtualOrganization":
+    """Crash the type's home site under a retrying client workload.
+
+    The type home (``agrid01``) goes down at t=40 for 30 s with site
+    caching off, so every resolution during the outage hits the dead
+    node: attempt-level SLO events go bad, the fast burn-rate alert
+    fires, and the health registry marks the node ``down``.  The client
+    retries each request, so after the restart the node recovers and
+    the alert resolves.
+    """
+    from repro.faults import CrashSpec, FaultsConfig
+    from repro.net.interceptors import RetryPolicy
+
+    vo = _build(
+        cache_enabled=False,
+        faults=FaultsConfig(crashes=(CrashSpec("agrid01", at=40.0,
+                                               down_for=30.0),)),
+        rpc_retry=RetryPolicy(attempts=3, per_try_timeout=5.0,
+                              base_delay=0.5),
+    )
+    vo.form_overlay()
+    _register_wien2k(vo, "agrid01")
+
+    def client():
+        for _ in range(50):
+            try:
+                yield from vo.client_call("agrid02", "get_deployments",
+                                          payload="Wien2k")
+            except Exception:
+                pass  # the outage window: failures are the point
+            yield vo.sim.timeout(2.0)
+
+    vo.sim.process(client(), name="churn-client")
+    vo.sim.run(until=140.0)
+    return vo
+
+
 SCENARIOS: Dict[str, Callable[[], "VirtualOrganization"]] = {
     "deploy": scenario_deploy,
     "lookup": scenario_lookup,
     "election": scenario_election,
+    "churn": scenario_churn,
 }
 
 
 def run_scenario(name: str) -> "VirtualOrganization":
-    """Run one named scenario; raises ``KeyError`` for unknown names."""
+    """Run one named scenario; raises ``KeyError`` for unknown names.
+
+    Also audits the span lifecycle: any span still open whose owning
+    process already terminated means an error path dropped it, which is
+    a bug in the instrumentation — surfaced here rather than silently
+    skewing analytics.
+    """
     try:
         runner = SCENARIOS[name]
     except KeyError:
         raise KeyError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         )
-    return runner()
+    vo = runner()
+    leaked = vo.obs.tracer.leaked_spans()
+    if leaked:
+        names = ", ".join(s.name for s in leaked[:5])
+        raise AssertionError(
+            f"scenario {name!r} leaked {len(leaked)} unfinished spans "
+            f"from dead processes: {names}"
+        )
+    return vo

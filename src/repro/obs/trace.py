@@ -154,6 +154,12 @@ class NullTracer:
     def spans(self) -> List[Span]:
         return []
 
+    def open_spans(self) -> List[Span]:
+        return []
+
+    def leaked_spans(self) -> List[Span]:
+        return []
+
 
 class Tracer:
     """Collects finished spans, keyed into traces.
@@ -177,6 +183,8 @@ class Tracer:
         #: active span per simulation process (``None`` key = top level,
         #: i.e. code running outside any process, such as test set-up)
         self._current: Dict[Any, Span] = {}
+        #: every entered-but-unfinished span, by span id (leak audit)
+        self._open: Dict[int, Span] = {}
         self.dropped_spans = 0
 
     # -- wiring -------------------------------------------------------------
@@ -232,9 +240,11 @@ class Tracer:
         span._key = key
         span._prev = self._current.get(key)
         self._current[key] = span
+        self._open[span.span_id] = span
 
     def _finish(self, span: Span) -> None:
         span.end = self._now()
+        self._open.pop(span.span_id, None)
         if self._current.get(span._key) is span:
             if span._prev is not None:
                 self._current[span._key] = span._prev
@@ -274,6 +284,26 @@ class Tracer:
     def trace_of(self, span: Span) -> List[Span]:
         """Every finished span sharing ``span``'s trace."""
         return [s for s in self._finished if s.trace_id == span.trace_id]
+
+    def open_spans(self) -> List[Span]:
+        """Spans entered but not yet exited, oldest first."""
+        return sorted(self._open.values(), key=lambda s: s.span_id)
+
+    def leaked_spans(self) -> List[Span]:
+        """Open spans whose owning process can never close them.
+
+        An open span is legitimate while the process that entered it is
+        still alive (the run was stopped mid-flight); it is a *leak*
+        when that process has terminated — some error path exited
+        without closing the span.  Top-level spans (no owning process)
+        are counted as leaks too, since nothing will resume them.
+        """
+        leaked = []
+        for span in self.open_spans():
+            owner = span._key
+            if owner is None or not getattr(owner, "is_alive", False):
+                leaked.append(span)
+        return leaked
 
     def clear(self) -> None:
         self._finished.clear()

@@ -566,6 +566,218 @@ def compare_faults_baseline(
     return failures
 
 
+# -- observability-overhead benchmark (obs + SLO plane) ---------------------
+
+def _obs_bench_slos():
+    """An availability objective over the echo endpoint (default alert
+    rules), so every RPC crosses the SLO interceptor and engine."""
+    from repro.obs.slo import SLOSpec
+
+    return (SLOSpec(name="echo-availability", endpoint="echo.*", target=0.999),)
+
+
+def _echo_tier_run(tier: str, clients: int, horizon: float, seed: int) -> Dict[str, Any]:
+    """One closed-loop echo workload at a given observability tier.
+
+    ``tier`` is ``"off"`` (null observability — the production default),
+    ``"obs"`` (tracer + metrics interceptors) or ``"slo"`` (tracer +
+    metrics + SLO engine fed by the pipeline).  Identical seed and
+    topology across tiers, so the rate deltas are pure instrumentation
+    overhead.
+    """
+    from repro.obs import Observability
+
+    sim = Simulator(seed=seed)
+    client_sites = [f"c{i}" for i in range(4)]
+    topo = Topology.star("server", client_sites, latency=0.004, bandwidth=12.5e6)
+    obs = None
+    if tier == "obs":
+        obs = Observability(enabled=True, sample_interval=5.0)
+    elif tier == "slo":
+        obs = Observability(enabled=True, sample_interval=5.0,
+                            slos=_obs_bench_slos())
+    net = Network(sim, topo, obs=obs)
+    net.add_node("server", cores=2)
+    for site in client_sites:
+        net.add_node(site, cores=2)
+    EchoService(net, "server", demand=0.0005)
+    if obs is not None and obs.slo is not None:
+        obs.slo.start()
+
+    completed = [0]
+
+    def client(index: int) -> Generator:
+        site = client_sites[index % len(client_sites)]
+        payload = f"ping-{index:03d}"
+        while True:
+            yield from net.call(site, "server", "echo", "echo", payload=payload)
+            completed[0] += 1
+
+    for index in range(clients):
+        sim.process(client(index), name=f"obs-client-{index}")
+    start = time.perf_counter()
+    sim.run(until=horizon)
+    wall = time.perf_counter() - start
+    return {
+        "tier": tier,
+        "rpcs": completed[0],
+        "wall_seconds": wall,
+        "rpcs_per_wall_sec": completed[0] / wall,
+        "sim_throughput": completed[0] / horizon,
+    }
+
+
+def bench_obs(
+    clients: int = 8, horizon: float = 40.0, seed: int = 11
+) -> BenchResult:
+    """Instrumentation overhead: echo RPCs with obs off / on / on+SLOs.
+
+    The *simulated* throughput must be identical across tiers (the
+    observability plane charges no simulated time); only wall-clock
+    differs.  The headline value is the instrumented-with-SLOs rate;
+    ``details`` carries the per-tier rates and the overhead fractions
+    the CI gate checks.
+    """
+    runs = {tier: _echo_tier_run(tier, clients, horizon, seed)
+            for tier in ("off", "obs", "slo")}
+    base_rate = runs["off"]["rpcs_per_wall_sec"]
+    overhead = {
+        tier: 1.0 - runs[tier]["rpcs_per_wall_sec"] / base_rate
+        for tier in ("obs", "slo")
+    }
+    return BenchResult(
+        name="obs",
+        metric="instrumented_rpcs_per_wall_sec",
+        value=runs["slo"]["rpcs_per_wall_sec"],
+        wall_seconds=sum(r["wall_seconds"] for r in runs.values()),
+        work_units=sum(r["rpcs"] for r in runs.values()),
+        details={
+            "clients": clients,
+            "sim_horizon": horizon,
+            "null_rpcs_per_wall_sec": base_rate,
+            "obs_rpcs_per_wall_sec": runs["obs"]["rpcs_per_wall_sec"],
+            "slo_rpcs_per_wall_sec": runs["slo"]["rpcs_per_wall_sec"],
+            "obs_overhead_frac": overhead["obs"],
+            "slo_overhead_frac": overhead["slo"],
+            "sim_throughput_equal": len(
+                {r["sim_throughput"] for r in runs.values()}
+            ) == 1,
+        },
+    )
+
+
+def obs_fingerprint(seed: int = 33) -> Dict[str, Any]:
+    """Deterministic digest of the health/SLO plane's judgements.
+
+    Runs the quick Fig. 16 SLO pair: alert counts, per-crash detection
+    latencies (MTTD), incident repair times (MTTR), error-budget
+    verdicts and the request digests are all simulated figures, so two
+    runs of the same tree must match exactly; the committed
+    ``BENCH_obs.json`` pins them across refactors.
+    """
+    from repro.experiments.fig16 import run_fig16_slo
+
+    fragile, resilient = run_fig16_slo(seed=seed, quick=True,
+                                       verify_determinism=False)
+    return {
+        "seed": seed,
+        "crashes": resilient.crashes,
+        "fragile_alerts_fired": fragile.alerts_fired,
+        "resilient_alerts_fired": resilient.alerts_fired,
+        "undetected_crashes": (fragile.undetected_crashes
+                               + resilient.undetected_crashes),
+        "fragile_detection_latencies": [repr(t) for t in
+                                        fragile.detection_latencies],
+        "resilient_detection_latencies": [repr(t) for t in
+                                          resilient.detection_latencies],
+        "fragile_repair_times": [repr(t) for t in fragile.repair_times],
+        "resilient_repair_times": [repr(t) for t in resilient.repair_times],
+        "fragile_verdicts": dict(sorted(fragile.slo_verdicts.items())),
+        "resilient_verdicts": dict(sorted(resilient.slo_verdicts.items())),
+        "fragile_result_digest": fragile.result_digest,
+        "resilient_result_digest": resilient.result_digest,
+    }
+
+
+def obs_suite(quick: bool = False) -> Dict[str, Any]:
+    """The ``BENCH_obs.json`` payload (bench + fingerprint)."""
+    result = bench_obs(**({"clients": 4, "horizon": 15.0} if quick else {}))
+    return {
+        "suite": "bench_obs",
+        "mode": "quick" if quick else "full",
+        "results": {result.name: result.to_dict()},
+        "fingerprint": obs_fingerprint(),
+    }
+
+
+def compare_obs_baseline(
+    suite: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_overhead: float = 0.75,
+    max_overhead_increase: float = 0.15,
+) -> List[str]:
+    """Gate the observability plane against a committed baseline.
+
+    Wall-clock rates vary across machines, but the overhead *fractions*
+    are same-machine ratios, so they travel: the instrumented tiers
+    must stay under ``max_overhead`` absolute cost and must not grow
+    more than ``max_overhead_increase`` over the committed fractions.
+    Every judgement figure is simulated and deterministic — any drift
+    of detections, repairs, verdicts or digests fails, as does an
+    undetected crash or a vanished fragile/resilient verdict contrast.
+    """
+    failures: List[str] = []
+    current = suite["results"].get("obs", {}).get("details", {})
+    base = baseline.get("results", {}).get("obs", {}).get("details", {})
+    for key in ("obs_overhead_frac", "slo_overhead_frac"):
+        frac = current.get(key)
+        if frac is None:
+            continue
+        if frac > max_overhead:
+            failures.append(
+                f"obs: {key} {frac:.3f} exceeds the absolute cap "
+                f"{max_overhead:.2f}"
+            )
+        if base.get(key) is not None and frac > base[key] + max_overhead_increase:
+            failures.append(
+                f"obs: {key} {frac:.3f} grew more than "
+                f"{max_overhead_increase:.2f} over baseline {base[key]:.3f}"
+            )
+    if current and not current.get("sim_throughput_equal", False):
+        failures.append(
+            "obs: instrumentation changed the simulated throughput "
+            "(the observability plane must charge no simulated time)"
+        )
+    fp, base_fp = suite.get("fingerprint", {}), baseline.get("fingerprint", {})
+    if fp.get("undetected_crashes", 0) != 0:
+        failures.append(
+            f"obs: {fp.get('undetected_crashes')} scheduled crashes went "
+            "undetected by the burn-rate alerts"
+        )
+    verdict_pairs = (
+        ("fragile_verdicts", "client-availability", "exhausted"),
+        ("resilient_verdicts", "client-availability", "met"),
+    )
+    for key, slo_name, expected in verdict_pairs:
+        actual = fp.get(key, {}).get(slo_name)
+        if actual != expected:
+            failures.append(
+                f"obs: {key}[{slo_name}] is {actual!r}, expected "
+                f"{expected!r} (the fragile/resilient contrast vanished)"
+            )
+    for key in ("crashes", "fragile_alerts_fired", "resilient_alerts_fired",
+                "fragile_detection_latencies", "resilient_detection_latencies",
+                "fragile_repair_times", "resilient_repair_times",
+                "fragile_verdicts", "resilient_verdicts",
+                "fragile_result_digest", "resilient_result_digest"):
+        if key in base_fp and fp.get(key) != base_fp.get(key):
+            failures.append(
+                f"obs fingerprint drift: {key} changed "
+                f"({fp.get(key)!r} vs {base_fp.get(key)!r})"
+            )
+    return failures
+
+
 # -- determinism fingerprints ----------------------------------------------
 
 

@@ -15,7 +15,7 @@ All examples, tests and benchmark drivers build on this module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Union
+from typing import Any, Dict, Generator, List, Optional, Tuple, Union
 
 from repro.faults import FaultPlane, FaultsConfig
 from repro.glare.lifecycle import LifecycleController
@@ -32,6 +32,7 @@ from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.net.transport import SecurityPolicy
 from repro.obs import MetricsRecorder, Observability
+from repro.obs.slo import SLOSpec
 from repro.simkernel import Simulator
 from repro.site.description import SiteDescription
 from repro.site.gridsite import GridSite
@@ -75,6 +76,11 @@ class VOConfig:
     observability: Union[bool, Observability] = False
     #: gauge sampling period of the metrics recorder (when enabled)
     sample_interval: float = 5.0
+    #: declarative service-level objectives (empty = no SLO engine, no
+    #: pipeline layer — byte-identical baseline behaviour)
+    slos: Tuple[SLOSpec, ...] = ()
+    #: burn-rate evaluation cadence of the SLO engine (when SLOs set)
+    slo_eval_interval: float = 5.0
     #: fault scenario for the VO-wide fault plane (``None`` = disabled,
     #: preserving the byte-identical baseline behaviour)
     faults: Optional[FaultsConfig] = None
@@ -119,8 +125,13 @@ class VirtualOrganization:
             self.obs = Observability(
                 enabled=bool(config.observability),
                 sample_interval=config.sample_interval,
+                slos=config.slos,
+                slo_eval_interval=config.slo_eval_interval,
             )
         self.faults = FaultPlane(self.sim, config.faults)
+        if self.obs.health is not None:
+            # the health registry consumes crash/restart events live
+            self.faults.listeners.append(self.obs.health.on_fault_event)
         self.network = Network(
             self.sim, self.topology, security=security, obs=self.obs,
             contention=config.contention, faults=self.faults,
@@ -322,6 +333,8 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
     if vo.obs.enabled:
         vo.obs.recorder = MetricsRecorder(vo, interval=vo.obs.sample_interval)
         vo.obs.recorder.start()
+    if vo.obs.slo is not None:
+        vo.obs.slo.start()
 
     # Fault plane: spawn the crash/churn schedules (no-op when disabled).
     vo.faults.start()

@@ -298,6 +298,89 @@ class TestAdmissionControl:
         yield from net.call("A", "B", "slow", "work")
 
 
+class TestSLOInterceptor:
+    @staticmethod
+    def make_slo_net(enabled=False):
+        from repro.obs import Observability
+        from repro.obs.slo import SLOSpec
+
+        sim = Simulator(seed=1)
+        topo = Topology.full_mesh(("A", "B"), latency=0.005, bandwidth=1e7)
+        obs = Observability(enabled=enabled, slos=(
+            SLOSpec(name="attempts", endpoint="flaky.*", target=0.9,
+                    level="attempt", alerts=()),
+            SLOSpec(name="calls", endpoint="flaky.*", target=0.9,
+                    level="call", alerts=()),
+        ))
+        net = Network(sim, topo, obs=obs)
+        for s in ("A", "B"):
+            net.add_node(s, cores=2)
+        return sim, net
+
+    def test_layer_installed_only_when_slos_configured(self):
+        _, plain = make_net()
+        assert [i.name for i in plain.interceptors] == []
+        _, net = self.make_slo_net()
+        assert [i.name for i in net.interceptors] == ["slo"]
+        _, full = self.make_slo_net(enabled=True)
+        # inside trace/metrics so every SLI sees the full pipeline pass
+        assert [i.name for i in full.interceptors] == [
+            "trace", "metrics", "slo"]
+
+    def test_every_retry_attempt_is_one_sli_event(self):
+        sim, net = self.make_slo_net()
+        FlakyService(net, "B", failures=2)
+        policy = RetryPolicy(attempts=4, base_delay=0.5)
+
+        def client():
+            value = yield from net.call("A", "B", "flaky", "work",
+                                        retry=policy)
+            return value
+
+        proc = sim.process(client())
+        sim.run()
+        assert proc.value == "ok after 3"
+        engine = net.obs.slo
+        # server view: three pipeline passes, two of them bad
+        attempts = engine.status("attempts")
+        assert (attempts.total, attempts.bad) == (3, 2)
+        # client view: the one call succeeded after retries
+        calls = engine.status("calls")
+        assert (calls.total, calls.bad) == (1, 0)
+
+    def test_failed_call_records_bad_at_both_levels(self):
+        sim, net = self.make_slo_net()
+        FlakyService(net, "B", failures=10, error=ValueError)
+
+        def client():
+            try:
+                yield from net.call("A", "B", "flaky", "work")
+            except ValueError:
+                return "raised"
+
+        proc = sim.process(client())
+        sim.run()
+        assert proc.value == "raised"
+        engine = net.obs.slo
+        assert (engine.status("attempts").total,
+                engine.status("attempts").bad) == (1, 1)
+        assert (engine.status("calls").total,
+                engine.status("calls").bad) == (1, 1)
+
+    def test_unmatched_endpoint_records_nothing(self):
+        sim, net = self.make_slo_net()
+        EchoService(net, "B")
+
+        def client():
+            yield from net.call("A", "B", "echo", "echo", payload="x")
+
+        sim.process(client())
+        sim.run()
+        engine = net.obs.slo
+        assert engine.status("attempts").total == 0
+        assert engine.status("calls").total == 0
+
+
 class TestDispatchCounters:
     def test_success_and_failure_counted_separately(self):
         sim, net = make_net()

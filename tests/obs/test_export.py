@@ -1,19 +1,30 @@
 """Tests for the JSONL/Chrome exporters and text renderers."""
 
+import csv
 import io
 import json
 
 import pytest
 
 from repro.obs.export import (
+    chrome_counter_events,
     chrome_trace_events,
     export_chrome,
     export_jsonl,
     format_trace_tree,
+    health_to_csv,
+    health_to_dict,
+    metrics_to_csv,
+    metrics_to_dict,
+    render_alerts,
+    render_health,
     render_metrics,
+    render_slo,
     span_to_dict,
 )
+from repro.obs.health import HealthRegistry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import BurnRateRule, SLOEngine, SLOSpec
 from repro.obs.trace import Tracer
 from repro.simkernel import Simulator
 
@@ -102,3 +113,138 @@ def test_render_metrics_populated():
     assert "rpc.calls" in text and "endpoint=a.b" in text
     assert "250.00" in text  # 0.25 s in ms
     assert "site.load" in text
+
+
+@pytest.fixture()
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls", endpoint="a.b").inc(3)
+    registry.histogram("rpc.latency", endpoint="a.b").observe(0.25)
+    registry.sample("site.load", 1.5, site="agrid00")
+    registry.sample("site.load", 2.5, site="agrid00")
+    return registry
+
+
+def test_chrome_counter_events(populated_registry):
+    events = chrome_counter_events(populated_registry)
+    counters = [e for e in events if e["ph"] == "C"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(counters) == 2  # one per sample
+    assert {m["args"]["name"] for m in meta} == {"agrid00"}
+    first = counters[0]
+    assert first["name"] == "site.load"
+    assert first["args"] == {"site.load": 1.5}
+    assert first["ts"] == 0.0
+
+
+def test_export_chrome_shares_pids_with_counters(sample_spans,
+                                                 populated_registry):
+    populated_registry.sample("site.load", 9.0, site="agrid01")
+    stream = io.StringIO()
+    count = export_chrome(sample_spans, stream, registry=populated_registry)
+    document = json.loads(stream.getvalue())
+    events = document["traceEvents"]
+    assert len(events) == count
+    # agrid01 hosts both a span and a counter series: one shared pid
+    meta = {e["args"]["name"]: e["pid"] for e in events if e["ph"] == "M"}
+    span_pids = {e["pid"] for e in events if e["ph"] == "X"}
+    counter_pids = {e["pid"] for e in events if e["ph"] == "C"}
+    assert meta["agrid01"] in span_pids
+    assert meta["agrid01"] in counter_pids
+
+
+def test_metrics_to_dict(populated_registry):
+    data = metrics_to_dict(populated_registry)
+    json.dumps(data)  # must be JSON-serialisable
+    assert data["counters"] == [
+        {"name": "rpc.calls", "labels": {"endpoint": "a.b"}, "value": 3}
+    ]
+    assert data["histograms"][0]["count"] == 1
+    series, = data["series"]
+    assert series["samples"] == [[0.0, 1.5], [0.0, 2.5]]
+
+
+def test_metrics_to_csv(populated_registry):
+    rows = list(csv.DictReader(io.StringIO(
+        metrics_to_csv(populated_registry))))
+    kinds = [row["kind"] for row in rows]
+    assert kinds == ["counter", "histogram", "series"]
+    assert rows[0]["value"] == "3"
+    assert rows[2]["last"] == "2.5"
+
+
+# -- SLO / health renderers --------------------------------------------------
+
+
+@pytest.fixture()
+def burning_engine():
+    sim = Simulator(seed=1)
+    engine = SLOEngine((
+        SLOSpec(name="avail", endpoint="svc.*", target=0.9,
+                alerts=(BurnRateRule("fast", 10.0, 1.0),)),
+    ))
+    engine.bind(sim)
+    for ok in (True, False, False):
+        engine.record("svc.op", sim.now, sim.now, ok=ok)
+    engine.evaluate()
+    return engine
+
+
+def test_render_slo_table(burning_engine):
+    text = render_slo(burning_engine)
+    assert "avail" in text and "svc.*" in text
+    assert "exhausted" in text
+    assert "6.67x" in text  # (2/3) / 0.1 budget
+
+
+def test_render_alerts_log(burning_engine):
+    text = render_alerts(burning_engine)
+    assert "fired" in text and "avail/fast" in text
+    assert "active now: avail/fast" in text
+
+
+def test_render_alerts_empty():
+    sim = Simulator()
+    engine = SLOEngine((SLOSpec(name="s", endpoint="*"),))
+    engine.bind(sim)
+    assert render_alerts(engine) == "(no burn-rate alerts fired)"
+
+
+@pytest.fixture()
+def populated_health():
+    sim = Simulator(seed=1)
+    health = HealthRegistry()
+    health.bind(sim)
+    health.record_dispatch("agrid00", "glare-rdm", ok=True)
+    health.on_fault_event({"kind": "crash", "site": "agrid01", "at": 0.0})
+    return health
+
+
+def test_health_to_dict(populated_health):
+    data = health_to_dict(populated_health)
+    json.dumps(data)
+    nodes = {n["node"]: n for n in data["nodes"]}
+    assert nodes["agrid01"]["state"] == "down"
+    assert nodes["agrid00"]["services"] == {"glare-rdm": "healthy"}
+    assert data["summary"]["down"] == 1
+    assert data["transitions"][0]["state"] == "down"
+
+
+def test_health_to_csv(populated_health):
+    rows = list(csv.reader(io.StringIO(health_to_csv(populated_health))))
+    assert rows[0] == ["node", "service", "state", "since"]
+    assert ["agrid00", "glare-rdm", "healthy", ""] in rows
+    assert any(r[0] == "agrid01" and r[2] == "down" for r in rows)
+
+
+def test_render_health(populated_health):
+    text = render_health(populated_health)
+    assert "VO health" in text
+    assert "agrid01" in text and "down" in text
+    assert "summary: healthy=1, down=1" in text
+    assert "fault-plane crash" in text
+
+
+def test_render_health_empty():
+    health = HealthRegistry()
+    assert render_health(health) == "(no health signals recorded)"

@@ -134,3 +134,46 @@ class TestMetricsRecorder:
         recorder.stop()
         vo.sim.run(until=10.0)
         assert recorder.samples_taken == taken
+
+
+class TestRecorderUnderFaults:
+    """Gauge sampling across a FaultPlane crash/restart cycle."""
+
+    @staticmethod
+    def _run_crashed_vo():
+        from repro.faults import CrashSpec, FaultsConfig
+
+        vo = build_vo(n_sites=2, seed=9, monitors=False,
+                      observability=True, sample_interval=1.0,
+                      faults=FaultsConfig(crashes=(
+                          CrashSpec("agrid01", at=5.0, down_for=10.0),)))
+        vo.sim.run(until=25.0)
+        return vo
+
+    def test_offline_node_leaves_a_gap_in_its_series(self):
+        vo = self._run_crashed_vo()
+        load = vo.obs.metrics.series("site.load", site="agrid01")
+        times = [t for t, _ in load.samples]
+        # no samples inside the outage window [5, 15) — the recorder
+        # skips offline nodes, which is how dashboards see the crash
+        assert times, "the victim must have samples outside the outage"
+        assert not [t for t in times if 5.0 <= t < 15.0]
+        assert [t for t in times if t < 5.0]
+        assert [t for t in times if t >= 15.0]
+
+    def test_survivor_keeps_a_gapless_series(self):
+        vo = self._run_crashed_vo()
+        survivor = vo.obs.metrics.series("site.load", site="agrid00")
+        times = [t for t, _ in survivor.samples]
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert deltas and all(d == pytest.approx(1.0) for d in deltas)
+
+    def test_sampling_is_deterministic_across_crash_restart(self):
+        samples = []
+        for _ in range(2):
+            vo = self._run_crashed_vo()
+            samples.append({
+                (s.name, s.labels): list(s.samples)
+                for s in vo.obs.metrics.all_series()
+            })
+        assert samples[0] == samples[1]

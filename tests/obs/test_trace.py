@@ -204,6 +204,68 @@ class TestNullTracer:
         assert span.context is None
         assert tracer.current_context() is None
         assert tracer.spans == []
+        assert tracer.open_spans() == []
+        assert tracer.leaked_spans() == []
+
+
+class TestSpanLifecycle:
+    def test_open_spans_track_activation(self, traced_sim):
+        sim, tracer = traced_sim
+
+        def work():
+            with tracer.span("long"):
+                yield sim.timeout(10)
+
+        sim.process(work())
+        sim.run(until=5.0)
+        assert [s.name for s in tracer.open_spans()] == ["long"]
+        sim.run()
+        assert tracer.open_spans() == []
+
+    def test_error_path_closes_span(self, traced_sim):
+        """An exception through ``with`` must still finish the span."""
+        sim, tracer = traced_sim
+
+        def work():
+            with tracer.span("failing"):
+                yield sim.timeout(1)
+                raise RuntimeError("boom")
+
+        sim.process(work())
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert tracer.open_spans() == []
+        failing, = tracer.find("failing")
+        assert failing.end == pytest.approx(1.0)
+        assert "boom" in failing.attrs["error"]
+
+    def test_open_span_of_live_process_is_not_a_leak(self, traced_sim):
+        sim, tracer = traced_sim
+
+        def keepalive():
+            with tracer.span("forever"):
+                while True:
+                    yield sim.timeout(1)
+
+        sim.process(keepalive())
+        sim.run(until=5.0)
+        assert [s.name for s in tracer.open_spans()] == ["forever"]
+        assert tracer.leaked_spans() == []
+
+    def test_span_dropped_by_dead_process_is_a_leak(self, traced_sim):
+        """A span never finished by a terminated process is reported."""
+        sim, tracer = traced_sim
+
+        def sloppy():
+            span = tracer.span("dropped")
+            span.__enter__()  # deliberately never exited
+            yield sim.timeout(1)
+
+        sim.process(sloppy())
+        sim.run()
+        leaked = tracer.leaked_spans()
+        assert [s.name for s in leaked] == ["dropped"]
+        assert leaked[0].end is None
 
 
 class TestTreeHelpers:
