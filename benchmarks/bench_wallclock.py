@@ -26,6 +26,14 @@ Usage::
         --check-faults BENCH_faults.json
     python benchmarks/bench_wallclock.py --obs \
         --check-obs BENCH_obs.json
+    python benchmarks/bench_wallclock.py --quick --jobs 4 --check-all
+
+``--check-all`` runs every suite and gates each against its committed
+``BENCH_*.json`` in one invocation, aggregating failures and printing
+a per-suite timing summary.  ``--jobs N`` fans the kernel suite's
+(benchmark, repeat) batches across worker processes (the worker count
+is recorded in the suite metadata — don't compare baselines recorded
+under different settings).
 
 ``--check-baseline`` enforces the two gates against a committed
 baseline file: rate metrics must not regress by more than
@@ -79,11 +87,15 @@ from repro import perf  # noqa: E402  (path bootstrap above)
 
 
 def _print_summary(suite) -> None:
-    print(f"bench_wallclock ({suite['mode']}, best of {suite['repeats']})")
+    workers = suite.get("jobs", 1)
+    print(f"bench_wallclock ({suite['mode']}, best of {suite['repeats']}, "
+          f"{workers} worker{'s' if workers != 1 else ''})")
     for name, result in suite["results"].items():
         print(
             f"  {name:10s} {result['value']:>12,.0f} {result['metric']:<16s}"
-            f" ({result['wall_seconds']:.3f}s wall)"
+            f" ({result['wall_seconds']:.3f}s wall, "
+            f"{result.get('cpu_seconds', 0.0):.3f}s cpu, "
+            f"{result.get('peak_rss_kb', 0):,d} kB peak)"
         )
     print(f"  peak RSS   {suite['peak_rss_kb']:>12,d} kB")
     trace = suite["determinism"]["kernel_trace"]
@@ -194,6 +206,112 @@ def _print_faults_summary(suite) -> None:
     )
 
 
+#: repo-root baseline file per suite, in --check-all run order
+_BASELINES = {
+    "kernel": "BENCH_kernel.json",
+    "resolution": "BENCH_resolution.json",
+    "provisioning": "BENCH_provisioning.json",
+    "faults": "BENCH_faults.json",
+    "obs": "BENCH_obs.json",
+}
+
+
+def _check_all(args) -> int:
+    """Run every suite and gate each against its committed baseline.
+
+    One invocation replaces the five separate ``--check-*`` runs CI
+    used to make; failures aggregate across suites so one bad gate
+    doesn't mask the others, and a timing summary at the end makes
+    harness wall-time regressions visible in the job log.
+
+    ``--jobs N`` fans the five *suites* across worker processes (one
+    suite per worker, serial inside).  With workers matched to cores,
+    each suite keeps a core to itself and its wall rates stay
+    comparable to a serially recorded baseline — unlike fanning the
+    individual benchmarks, which would timeshare the very rates the
+    kernel gate checks.
+    """
+    import time as _time
+
+    from repro.runner import WorkUnit, run_units
+
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+    units = [
+        WorkUnit("kernel", "repro.perf:run_suite",
+                 {"quick": args.quick, "repeats": args.repeats}),
+        WorkUnit("resolution", "repro.perf:resolution_suite",
+                 {"quick": args.quick}),
+        WorkUnit("provisioning", "repro.perf:provisioning_suite",
+                 {"quick": args.quick}),
+        WorkUnit("faults", "repro.perf:faults_suite",
+                 {"quick": args.quick}),
+        WorkUnit("obs", "repro.perf:obs_suite",
+                 {"quick": args.quick}),
+    ]
+    started = _time.perf_counter()
+    suites = dict(zip(_BASELINES, run_units(units, jobs=args.jobs)))
+    total = _time.perf_counter() - started
+
+    summarize = {
+        "kernel": _print_summary,
+        "resolution": _print_resolution_summary,
+        "provisioning": _print_provisioning_summary,
+        "faults": _print_faults_summary,
+        "obs": _print_obs_summary,
+    }
+    compare = {
+        "kernel": lambda suite, baseline: (
+            perf.compare_to_baseline(suite, baseline,
+                                     max_regression=args.max_regression)
+            + _check_determinism(suite, baseline)
+        ),
+        "resolution": lambda suite, baseline: perf.compare_resolution_baseline(
+            suite, baseline, max_regression=args.max_regression),
+        "provisioning": lambda suite, baseline: perf.compare_provisioning_baseline(
+            suite, baseline, min_speedup=args.min_speedup),
+        "faults": lambda suite, baseline: perf.compare_faults_baseline(
+            suite, baseline, min_success=args.min_success),
+        "obs": lambda suite, baseline: perf.compare_obs_baseline(
+            suite, baseline,
+            max_overhead_increase=args.max_overhead_increase),
+    }
+
+    failures = []
+    timings = []
+    for name, suite in suites.items():
+        summarize[name](suite)
+        bench_wall = sum(r.get("wall_seconds", 0.0)
+                         for r in suite.get("results", {}).values())
+        timings.append((name, bench_wall))
+        with open(os.path.join(root, _BASELINES[name])) as handle:
+            baseline = json.load(handle)
+        suite_failures = compare[name](suite, baseline)
+        if suite_failures:
+            failures.extend(f"{name}: {f}" for f in suite_failures)
+        print(f"  -> {name} gate "
+              f"{'FAILED' if suite_failures else 'passed'}\n")
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(suites, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote merged suites to {args.output}")
+
+    print("timing summary (benchmark wall per suite):")
+    for name, bench_wall in timings:
+        print(f"  {name:13s} {bench_wall:7.1f}s")
+    print(f"  {'harness total':13s} {total:7.1f}s "
+          f"({args.jobs} worker{'s' if args.jobs != 1 else ''})")
+
+    if failures:
+        print("FAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"all {len(_BASELINES)} baseline gates passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -230,7 +348,18 @@ def main(argv=None) -> int:
     parser.add_argument("--max-overhead-increase", type=float, default=0.15,
                         help="tolerated growth of the instrumentation overhead "
                              "fraction over baseline (default 0.15)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="fan (benchmark, repeat) batches of the kernel "
+                             "suite across N worker processes (default 1)")
+    parser.add_argument("--check-all", action="store_true",
+                        help="run every suite and gate each against its "
+                             "committed BENCH_*.json in one invocation "
+                             "(kernel + resolution + provisioning + faults "
+                             "+ obs), with a timing summary")
     args = parser.parse_args(argv)
+
+    if args.check_all:
+        return _check_all(args)
 
     if args.obs or args.check_obs:
         suite = perf.obs_suite(quick=args.quick)
@@ -313,7 +442,8 @@ def main(argv=None) -> int:
             print(f"resolution baseline check passed ({args.check_resolution})")
         return 0
 
-    suite = perf.run_suite(quick=args.quick, repeats=args.repeats)
+    suite = perf.run_suite(quick=args.quick, repeats=args.repeats,
+                           jobs=args.jobs)
     _print_summary(suite)
 
     if args.output:

@@ -46,21 +46,21 @@ import time
 from typing import List, Optional
 
 
-def _run_table1(quick: bool) -> str:
+def _run_table1(quick: bool, jobs: int = 1) -> str:
     from repro.experiments.table1 import format_table1, run_table1
 
     apps = ("Wien2k",) if quick else ("Wien2k", "Invmod", "Counter")
     return format_table1(run_table1(applications=apps))
 
 
-def _run_fig10(quick: bool) -> str:
+def _run_fig10(quick: bool, jobs: int = 1) -> str:
     from repro.experiments.fig10 import format_fig10, run_fig10
 
     clients = (1, 4, 16) if quick else (1, 2, 4, 6, 8, 10, 12, 14, 16)
     return format_fig10(run_fig10(client_counts=clients))
 
 
-def _run_fig11(quick: bool) -> str:
+def _run_fig11(quick: bool, jobs: int = 1) -> str:
     from repro.experiments.fig11 import (
         format_fig11,
         run_collapse_probe,
@@ -77,25 +77,27 @@ def _run_fig11(quick: bool) -> str:
     return text
 
 
-def _run_fig12(quick: bool) -> str:
+def _run_fig12(quick: bool, jobs: int = 1) -> str:
     from repro.experiments.fig12 import format_fig12, run_fig12
 
     return format_fig12(run_fig12())
 
 
-def _run_fig14(quick: bool) -> str:
+def _run_fig14(quick: bool, jobs: int = 1) -> str:
     from repro.experiments.fig14 import (
         format_fig14,
         run_fig14,
         run_revalidation_point,
     )
 
-    sizes = (16, 64) if quick else (16, 64, 128, 256)
-    return format_fig14(run_fig14(sizes=sizes),
+    # The 1024-site point is the scale ceiling: gated out of --quick
+    # (its broadcast baseline alone costs ~10x the 256-site point).
+    sizes = (16, 64) if quick else (16, 64, 128, 256, 1024)
+    return format_fig14(run_fig14(sizes=sizes, jobs=jobs),
                         revalidation=run_revalidation_point())
 
 
-def _run_fig13(quick: bool) -> str:
+def _run_fig13(quick: bool, jobs: int = 1) -> str:
     from repro.experiments.fig13 import format_fig13, run_fig13
 
     counts = (0, 120, 210) if quick else (0, 30, 60, 90, 120, 150, 180, 210)
@@ -104,14 +106,15 @@ def _run_fig13(quick: bool) -> str:
                                   sink_counts=counts, rates=rates))
 
 
-def _run_fig15(quick: bool) -> str:
+def _run_fig15(quick: bool, jobs: int = 1) -> str:
     from repro.experiments.fig15 import format_fig15, run_fig15
 
     sizes = (8, 16) if quick else (8, 16, 32, 64)
-    return format_fig15(run_fig15(sizes=sizes))
+    return format_fig15(run_fig15(sizes=sizes, jobs=jobs))
 
 
-def _run_fig16(quick: bool, report_out: Optional[str] = None) -> str:
+def _run_fig16(quick: bool, report_out: Optional[str] = None,
+               jobs: int = 1) -> str:
     from repro.experiments.fig16 import (
         format_fig16,
         format_fig16_slo,
@@ -119,7 +122,7 @@ def _run_fig16(quick: bool, report_out: Optional[str] = None) -> str:
         run_fig16_slo,
     )
 
-    text = format_fig16(run_fig16(quick=quick))
+    text = format_fig16(run_fig16(quick=quick, jobs=jobs))
     fragile, resilient = run_fig16_slo(quick=quick)
     slo_text = format_fig16_slo(fragile, resilient)
     if report_out:
@@ -140,6 +143,19 @@ COMMANDS = {
     "fig15": _run_fig15,
     "fig16": _run_fig16,
 }
+
+
+def _run_command(name: str, quick: bool,
+                 report_out: Optional[str] = None) -> str:
+    """One experiment command as a runner work unit (``repro all --jobs``).
+
+    Runs serially *inside* its worker (``jobs=1``): the fan-out already
+    happened at the command level, and nesting pools would oversubscribe
+    the machine.
+    """
+    if name == "fig16":
+        return _run_fig16(quick, report_out=report_out)
+    return COMMANDS[name](quick)
 
 #: scenario names accepted by the observability subcommands (mirrors
 #: repro.obs.scenarios.SCENARIOS; kept literal so --help never imports
@@ -298,6 +314,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fig16 only: write the rendered health/SLO extension "
              "report to FILE",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent work across N worker processes: whole "
+             "experiments for 'all', sweep points for fig14/fig15/fig16 "
+             "(results are byte-identical to a serial run)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment in OBS_COMMANDS:
@@ -317,13 +339,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all" and args.jobs > 1:
+        # fan whole experiments across workers; print in name order so
+        # the output is byte-identical to a serial run (modulo timing)
+        from repro.runner import WorkUnit, run_units
+
+        started = time.time()
+        units = [
+            WorkUnit(
+                name=f"all:{name}",
+                fn="repro.cli:_run_command",
+                kwargs={
+                    "name": name,
+                    "quick": args.quick,
+                    "report_out": args.report_out if name == "fig16" else None,
+                },
+            )
+            for name in names
+        ]
+        texts = run_units(units, jobs=args.jobs)
+        for name, text in zip(names, texts):
+            print(f"=== {name} " + "=" * (70 - len(name)))
+            print(text)
+            print()
+        print(f"--- all done in {time.time() - started:.1f}s "
+              f"({args.jobs} workers)")
+        return 0
     for name in names:
         started = time.time()
         print(f"=== {name} " + "=" * (70 - len(name)))
         if name == "fig16":
-            print(_run_fig16(args.quick, report_out=args.report_out))
+            print(_run_fig16(args.quick, report_out=args.report_out,
+                             jobs=args.jobs))
         else:
-            print(COMMANDS[name](args.quick))
+            print(COMMANDS[name](args.quick, jobs=args.jobs))
         print(f"--- {name} done in {time.time() - started:.1f}s\n")
     return 0
 

@@ -240,13 +240,43 @@ def run_fig14_point(
 def run_fig14(
     sizes: Sequence[int] = (16, 64, 128, 256),
     seed: int = 21,
+    jobs: int = 1,
 ) -> List[Fig14Point]:
-    """The sweep: baseline + optimized pair per VO size."""
-    points: List[Fig14Point] = []
-    for n_sites in sizes:
-        points.append(run_fig14_point(n_sites, optimized=False, seed=seed))
-        points.append(run_fig14_point(n_sites, optimized=True, seed=seed))
-    return points
+    """The sweep: baseline + optimized pair per VO size.
+
+    Every point is an independent fixed-seed simulation, so with
+    ``jobs > 1`` the points fan out across worker processes (see
+    :mod:`repro.runner`); results come back in the same
+    (size, baseline-then-optimized) order either way.
+    """
+    from repro.runner import WorkUnit, run_units
+
+    units = [
+        WorkUnit(
+            name=f"fig14:{n_sites}:{'opt' if optimized else 'base'}",
+            fn="repro.experiments.fig14:run_fig14_point",
+            kwargs={"n_sites": n_sites, "optimized": optimized, "seed": seed},
+        )
+        for n_sites in sizes
+        for optimized in (False, True)
+    ]
+    return run_units(units, jobs=jobs)
+
+
+def fig14_sweep_digest(points: Sequence[Fig14Point]) -> str:
+    """Order-independent merged fingerprint of a whole sweep.
+
+    Folds every point's ``result_digest`` through
+    :func:`repro.runner.merge_digests`; equality between a ``jobs=1``
+    and a ``jobs=N`` run proves the parallel sweep reproduced every
+    point exactly.
+    """
+    from repro.runner import merge_digests
+
+    return merge_digests({
+        f"{p.n_sites}:{'opt' if p.optimized else 'base'}": p.result_digest
+        for p in points
+    })
 
 
 # -- batched revalidation (the Cache Refresher half of the story) ----------

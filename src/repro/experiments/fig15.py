@@ -138,13 +138,26 @@ def run_fig15_point(n_sites: int, optimized: bool, seed: int = 29) -> Fig15Point
 def run_fig15(
     sizes: Sequence[int] = (8, 16, 32, 64),
     seed: int = 29,
+    jobs: int = 1,
 ) -> List[Fig15Point]:
-    """The sweep: serial baseline + parallel/replica pair per size."""
-    points: List[Fig15Point] = []
-    for n_sites in sizes:
-        points.append(run_fig15_point(n_sites, optimized=False, seed=seed))
-        points.append(run_fig15_point(n_sites, optimized=True, seed=seed))
-    return points
+    """The sweep: serial baseline + parallel/replica pair per size.
+
+    Every point is an independent fixed-seed simulation, so with
+    ``jobs > 1`` the points fan out across worker processes (see
+    :mod:`repro.runner`); result order is submission order either way.
+    """
+    from repro.runner import WorkUnit, run_units
+
+    units = [
+        WorkUnit(
+            name=f"fig15:{n_sites}:{'opt' if optimized else 'base'}",
+            fn="repro.experiments.fig15:run_fig15_point",
+            kwargs={"n_sites": n_sites, "optimized": optimized, "seed": seed},
+        )
+        for n_sites in sizes
+        for optimized in (False, True)
+    ]
+    return run_units(units, jobs=jobs)
 
 
 def format_fig15(points: List[Fig15Point]) -> str:

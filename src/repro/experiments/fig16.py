@@ -417,13 +417,18 @@ def run_fig16(
     seed: int = 33,
     quick: bool = False,
     verify_determinism: bool = True,
+    jobs: int = 1,
 ) -> List[Fig16Point]:
     """The pair: fragile baseline, then the resilient series.
 
     With ``verify_determinism`` the resilient point runs twice and the
     digests (and recovery traces) must agree — the reproducibility
-    guarantee of the seeded fault plane.
+    guarantee of the seeded fault plane.  The three runs are
+    independent fixed-seed simulations, so with ``jobs > 1`` they fan
+    out across worker processes (see :mod:`repro.runner`).
     """
+    from repro.runner import WorkUnit, run_units
+
     kwargs: Dict = {"seed": seed}
     if quick:
         kwargs.update(
@@ -436,10 +441,22 @@ def run_fig16(
             resolve_rounds=20,
             provision_times=(25.0, 50.0, 120.0),
         )
-    fragile = run_fig16_point(resilient=False, **kwargs)
-    resilient = run_fig16_point(resilient=True, **kwargs)
+    units = [
+        WorkUnit("fig16:fragile", "repro.experiments.fig16:run_fig16_point",
+                 dict(kwargs, resilient=False)),
+        WorkUnit("fig16:resilient", "repro.experiments.fig16:run_fig16_point",
+                 dict(kwargs, resilient=True)),
+    ]
     if verify_determinism:
-        repeat = run_fig16_point(resilient=True, **kwargs)
+        units.append(
+            WorkUnit("fig16:resilient-repeat",
+                     "repro.experiments.fig16:run_fig16_point",
+                     dict(kwargs, resilient=True))
+        )
+    results = run_units(units, jobs=jobs)
+    fragile, resilient = results[0], results[1]
+    if verify_determinism:
+        repeat = results[2]
         if (repeat.result_digest != resilient.result_digest
                 or repeat.recovery_times != resilient.recovery_times):
             raise AssertionError(

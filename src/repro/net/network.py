@@ -167,6 +167,11 @@ class Network:
             layers.append(FaultInterceptor(self))
         self.interceptors = layers
         self._invoke = compose(layers, self._transport)
+        # Null-chain bypass: an empty layer list implies observability is
+        # off, no SLO engine is installed and the fault plane is disabled,
+        # so :meth:`call` may skip ``CallContext`` construction and run
+        # the transport stage directly (see :meth:`_call_direct`).
+        self._bare = not layers
 
     # -- node management ---------------------------------------------------
 
@@ -248,6 +253,16 @@ class Network:
         (per-attempt timeouts raise :class:`RpcTimeout`; transient
         errors back off and retry within the deadline budget).
         """
+        if self._bare and (retry is None or not retry.engaged):
+            # Fast path for the all-off default: no interceptors, no SLO
+            # engine, no engaged retry layer.  The event sequence is the
+            # same as the composed pipeline's — only the bookkeeping
+            # objects and sub-generator frames are elided — which the
+            # determinism fingerprints pin byte-for-byte.
+            value = yield from self._call_direct(
+                src, dst, service, method, payload, size, security
+            )
+            return value
         ctx = CallContext(src, dst, service, method, payload, size, security)
         engine = self.obs.slo
         if engine is None:
@@ -271,6 +286,117 @@ class Network:
             engine.record(ctx.endpoint, started, self.sim.now, ok,
                           level=SLO_CALL_LEVEL)
         return value
+
+    def _call_direct(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        method: str,
+        payload: Any,
+        size: int,
+        security: Optional[SecurityPolicy],
+    ) -> Generator:
+        """One remote call with the null pipeline fully inlined.
+
+        Only reachable when the interceptor chain is empty (which
+        implies tracing, metrics, SLOs and the fault plane are all off)
+        and no retry layer is engaged.  The cost model — marshalling,
+        handshake, both transmissions, dispatch — is charged in exactly
+        the order :meth:`_transport` and its helpers use, so the event
+        sequence (and therefore every determinism fingerprint) is
+        byte-identical; the saving is purely interpreter-side:
+        no ``CallContext``, no composed-chain frame, and the helper
+        sub-generators (`_client_marshal`/`_security_handshake`/
+        `_server_unmarshal`/`_serve`/`_send_response`/`_transmit`)
+        collapse into this one frame.
+        """
+        sim = self.sim
+        policy = security if security is not None else self.security
+        src_node = self.node(src)
+        dst_node = self.node(dst)
+        if not src_node.online:
+            raise OfflineError(f"source node {src!r} is offline")
+
+        message = Message(
+            src=src,
+            dst=dst,
+            service=service,
+            method=method,
+            payload=payload,
+            size=size,
+            secure=policy.enabled,
+        )
+        msize = message.size
+        latency, bandwidth = self.topology.path_metrics(src, dst)
+        contended = self.contention and src != dst
+
+        # client-side marshalling + crypto (one co-scheduled CPU grant)
+        demand = self.marshal_cpu_per_kb * (msize / 1024.0)
+        demand += policy.client_cpu_demand(msize)
+        if demand > 0:
+            yield from src_node.cpu.execute(demand)
+
+        handshake = policy.handshake_latency(2.0 * latency)
+        if handshake > 0:
+            yield sim.timeout(handshake)
+
+        # request transmission
+        if contended:
+            yield from self._transmit(src, dst, msize)
+        else:
+            yield sim.timeout(latency + msize / bandwidth)
+        self.total_messages += 1
+        self.total_bytes += msize
+        src_node.messages_out += 1
+        src_node.bytes_out += msize
+
+        if not dst_node.online:
+            # the connection attempt times out
+            yield sim.timeout(self.connect_fail_delay)
+            raise OfflineError(f"target node {dst!r} is offline")
+
+        dst_node.messages_in += 1
+        dst_node.bytes_in += msize
+
+        # server-side crypto + unmarshalling
+        demand = self.marshal_cpu_per_kb * (msize / 1024.0)
+        demand += policy.server_cpu_demand(msize)
+        if demand > 0:
+            yield from dst_node.cpu.execute(demand)
+
+        # dispatch (fault rules re-checked dynamically, like _serve)
+        handler = dst_node.service(service)
+        if self.faults.enabled:  # pragma: no cover - bare chain ⇒ disabled
+            injected = self.faults.service_fault(
+                CallContext(src, dst, service, method, payload, size, security)
+            )
+            if injected is not None:
+                raise injected
+        dst_node.inflight_rpcs += 1
+        try:
+            result = yield from handler.dispatch(method, message)
+        finally:
+            dst_node.inflight_rpcs -= 1
+        response = result if isinstance(result, Response) else Response(value=result)
+
+        # crypto on the response body + the return transmission
+        resp_crypto = policy.server_cpu_demand(response.size) - policy.server_cpu_demand(0)
+        if resp_crypto > 0:
+            yield from dst_node.cpu.execute(resp_crypto)
+        rsize = response.size
+        if contended:
+            yield from self._transmit(dst, src, rsize)
+        else:
+            latency, bandwidth = self.topology.path_metrics(dst, src)
+            yield sim.timeout(latency + rsize / bandwidth)
+        self.total_messages += 1
+        self.total_bytes += rsize
+        dst_node.messages_out += 1
+        dst_node.bytes_out += rsize
+        src_node.messages_in += 1
+        src_node.bytes_in += rsize
+        return response.value
 
     # -- retry layer -----------------------------------------------------------
 

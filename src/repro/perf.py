@@ -61,13 +61,27 @@ _ADDR_RE = re.compile(r"0x[0-9a-f]+")
 
 @dataclass
 class BenchResult:
-    """One microbenchmark measurement."""
+    """One microbenchmark measurement.
+
+    Besides the wall-clock headline, every benchmark records the CPU
+    time its measured section actually consumed (``cpu_seconds`` — user
+    plus system, via ``time.process_time``) and the process's peak RSS
+    when it finished (``peak_rss_kb``).  Wall/CPU divergence flags a
+    loaded machine (rates untrustworthy); per-benchmark RSS attributes
+    memory growth to the workload that caused it, which the old single
+    suite-level figure could not.  RSS is a process-lifetime high-water
+    mark, so within one process later benchmarks inherit earlier peaks;
+    under ``--jobs`` each benchmark runs in its own worker and the
+    figure is genuinely its own.
+    """
 
     name: str
     metric: str  # e.g. "events_per_sec"
     value: float  # the headline rate
     wall_seconds: float
     work_units: int  # events / RPCs / requests completed
+    cpu_seconds: float = 0.0
+    peak_rss_kb: int = 0
     details: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -101,7 +115,9 @@ def bench_kernel_events(
     for index in range(n_procs):
         sim.process(ticker(index), name=f"ticker-{index}")
     start = time.perf_counter()
+    cpu_start = time.process_time()
     sim.run()
+    cpu = time.process_time() - cpu_start
     wall = time.perf_counter() - start
     # per process: one init event, one timeout per tick, one
     # termination event for the Process itself
@@ -112,6 +128,8 @@ def bench_kernel_events(
         value=events / wall,
         wall_seconds=wall,
         work_units=events,
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
         details={"n_procs": n_procs, "events_per_proc": events_per_proc,
                  "final_time": sim.now},
     )
@@ -145,7 +163,9 @@ def bench_rpc_roundtrips(
     for index in range(clients):
         sim.process(client(index), name=f"rpc-client-{index}")
     start = time.perf_counter()
+    cpu_start = time.process_time()
     sim.run(until=horizon)
+    cpu = time.process_time() - cpu_start
     wall = time.perf_counter() - start
     return BenchResult(
         name="rpc",
@@ -153,6 +173,8 @@ def bench_rpc_roundtrips(
         value=completed[0] / wall,
         wall_seconds=wall,
         work_units=completed[0],
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
         details={"clients": clients, "sim_horizon": horizon,
                  "sim_throughput": completed[0] / horizon,
                  "wire_bytes": net.total_bytes},
@@ -169,7 +191,9 @@ def bench_registry_lookups(
     from repro.experiments.fig10 import run_fig10_point
 
     start = time.perf_counter()
+    cpu_start = time.process_time()
     point = run_fig10_point("registry", False, clients, n_types=n_types, seed=seed)
+    cpu = time.process_time() - cpu_start
     wall = time.perf_counter() - start
     # simulated requests completed over the 30 s horizon
     requests = int(round(point.throughput * 25.0))
@@ -179,6 +203,8 @@ def bench_registry_lookups(
         value=requests / wall,
         wall_seconds=wall,
         work_units=requests,
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
         details={"sim_throughput_rps": point.throughput,
                  "mean_response_ms": point.mean_response_ms},
     )
@@ -191,7 +217,9 @@ def bench_index_queries(
     from repro.experiments.fig10 import run_fig10_point
 
     start = time.perf_counter()
+    cpu_start = time.process_time()
     point = run_fig10_point("index", False, clients, n_types=n_types, seed=seed)
+    cpu = time.process_time() - cpu_start
     wall = time.perf_counter() - start
     requests = int(round(point.throughput * 25.0))
     return BenchResult(
@@ -200,6 +228,8 @@ def bench_index_queries(
         value=requests / wall,
         wall_seconds=wall,
         work_units=requests,
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
         details={"sim_throughput_rps": point.throughput,
                  "mean_response_ms": point.mean_response_ms},
     )
@@ -219,9 +249,11 @@ def bench_resolution(n_sites: int = 16, seed: int = 21) -> BenchResult:
     from repro.experiments.fig14 import run_fig14_point, run_revalidation_point
 
     start = time.perf_counter()
+    cpu_start = time.process_time()
     base = run_fig14_point(n_sites, optimized=False, seed=seed)
     opt = run_fig14_point(n_sites, optimized=True, seed=seed)
     reval = run_revalidation_point()
+    cpu = time.process_time() - cpu_start
     wall = time.perf_counter() - start
     resolutions = base.resolutions + opt.resolutions
     return BenchResult(
@@ -230,6 +262,8 @@ def bench_resolution(n_sites: int = 16, seed: int = 21) -> BenchResult:
         value=resolutions / wall,
         wall_seconds=wall,
         work_units=resolutions,
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
         details={
             "n_sites": n_sites,
             "baseline_messages_per_resolution": base.messages_per_resolution,
@@ -333,8 +367,10 @@ def bench_provisioning(n_sites: int = 16, seed: int = 29) -> BenchResult:
     from repro.experiments.fig15 import run_fig15_point
 
     start = time.perf_counter()
+    cpu_start = time.process_time()
     base = run_fig15_point(n_sites, optimized=False, seed=seed)
     opt = run_fig15_point(n_sites, optimized=True, seed=seed)
+    cpu = time.process_time() - cpu_start
     wall = time.perf_counter() - start
     installs = base.installed + opt.installed
     return BenchResult(
@@ -343,6 +379,8 @@ def bench_provisioning(n_sites: int = 16, seed: int = 29) -> BenchResult:
         value=installs / wall,
         wall_seconds=wall,
         work_units=installs,
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
         details={
             "n_sites": n_sites,
             "baseline_rollout_elapsed": base.rollout_elapsed,
@@ -455,7 +493,9 @@ def bench_faults(seed: int = 33) -> BenchResult:
     from repro.experiments.fig16 import run_fig16
 
     start = time.perf_counter()
+    cpu_start = time.process_time()
     fragile, resilient = run_fig16(seed=seed)
+    cpu = time.process_time() - cpu_start
     wall = time.perf_counter() - start
     # the determinism verification re-runs the resilient point
     requests = (fragile.resolutions + fragile.provisions
@@ -466,6 +506,8 @@ def bench_faults(seed: int = 33) -> BenchResult:
         value=requests / wall,
         wall_seconds=wall,
         work_units=requests,
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
         details={
             "n_sites": resilient.n_sites,
             "crashes": resilient.crashes,
@@ -638,8 +680,10 @@ def bench_obs(
     ``details`` carries the per-tier rates and the overhead fractions
     the CI gate checks.
     """
+    cpu_start = time.process_time()
     runs = {tier: _echo_tier_run(tier, clients, horizon, seed)
             for tier in ("off", "obs", "slo")}
+    cpu = time.process_time() - cpu_start
     base_rate = runs["off"]["rpcs_per_wall_sec"]
     overhead = {
         tier: 1.0 - runs[tier]["rpcs_per_wall_sec"] / base_rate
@@ -651,6 +695,8 @@ def bench_obs(
         value=runs["slo"]["rpcs_per_wall_sec"],
         wall_seconds=sum(r["wall_seconds"] for r in runs.values()),
         work_units=sum(r["rpcs"] for r in runs.values()),
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
         details={
             "clients": clients,
             "sim_horizon": horizon,
@@ -894,28 +940,97 @@ FULL_PARAMS = {
 }
 
 
-def run_suite(quick: bool = False, repeats: int = 1) -> Dict[str, Any]:
-    """Run every benchmark; keep the best (lowest-wall) of ``repeats``."""
+#: benchmark names in suite order → the function each unit runs
+_SUITE_BENCHES = ("kernel", "rpc", "fig10_registry", "fig10_index")
+
+
+def run_bench_unit(name: str, quick: bool = False) -> Any:
+    """One suite work unit, addressable by name (the ``--jobs`` entry).
+
+    Module-level so :mod:`repro.runner` can ship it to a worker as a
+    dotted path.  Benchmark units return a :class:`BenchResult`;
+    fingerprint units return their digest dict.  Every unit's seed is
+    the fixed one baked into its benchmark — repeat batches
+    *intentionally* re-run the identical workload (they measure wall
+    clock, not new behaviour), so no per-repeat seed derivation here.
+    """
     params = QUICK_PARAMS if quick else FULL_PARAMS
+    if name == "kernel":
+        return bench_kernel_events(**params["kernel"])
+    if name == "rpc":
+        return bench_rpc_roundtrips(**params["rpc"])
+    if name == "fig10_registry":
+        return bench_registry_lookups(**params["fig10"])
+    if name == "fig10_index":
+        return bench_index_queries(**params["fig10"])
+    if name == "kernel_trace_fp":
+        return kernel_trace_fingerprint()
+    if name == "experiment_fp":
+        return experiment_fingerprint()
+    raise ValueError(f"unknown bench unit {name!r}")
 
-    def best(factory) -> BenchResult:
-        results = [factory() for _ in range(max(1, repeats))]
-        return min(results, key=lambda r: r.wall_seconds)
 
-    results = [
-        best(lambda: bench_kernel_events(**params["kernel"])),
-        best(lambda: bench_rpc_roundtrips(**params["rpc"])),
-        best(lambda: bench_registry_lookups(**params["fig10"])),
-        best(lambda: bench_index_queries(**params["fig10"])),
-    ]
+def run_suite(quick: bool = False, repeats: int = 1,
+              jobs: int = 1) -> Dict[str, Any]:
+    """Run every benchmark; keep the best (lowest-wall) of ``repeats``.
+
+    With ``jobs > 1`` every (benchmark, repeat) batch — and the two
+    determinism fingerprints — fans out across worker processes via
+    :mod:`repro.runner`.  The reduction (best-of per benchmark) is
+    order-independent, and each worker measures its own RSS, so the
+    per-benchmark peak figures are genuinely per-benchmark.  The
+    worker count lands in the suite metadata: wall-clock rates from an
+    oversubscribed parallel run are not comparable to serial ones, and
+    baselines recorded under different ``jobs`` should never be
+    silently compared.
+    """
+    repeats = max(1, repeats)
+    if jobs > 1:
+        from repro.runner import WorkUnit, run_units
+
+        units = [
+            WorkUnit(f"{name}#r{i}", "repro.perf:run_bench_unit",
+                     {"name": name, "quick": quick})
+            for name in _SUITE_BENCHES
+            for i in range(repeats)
+        ]
+        units += [
+            WorkUnit("kernel_trace_fp", "repro.perf:run_bench_unit",
+                     {"name": "kernel_trace_fp"}),
+            WorkUnit("experiment_fp", "repro.perf:run_bench_unit",
+                     {"name": "experiment_fp"}),
+        ]
+        outputs = run_units(units, jobs=jobs)
+        results = []
+        for index, name in enumerate(_SUITE_BENCHES):
+            batch = outputs[index * repeats:(index + 1) * repeats]
+            results.append(min(batch, key=lambda r: r.wall_seconds))
+        kernel_trace = outputs[-2]
+        experiment = outputs[-1]
+    else:
+        params = QUICK_PARAMS if quick else FULL_PARAMS
+
+        def best(factory) -> BenchResult:
+            candidates = [factory() for _ in range(repeats)]
+            return min(candidates, key=lambda r: r.wall_seconds)
+
+        results = [
+            best(lambda: bench_kernel_events(**params["kernel"])),
+            best(lambda: bench_rpc_roundtrips(**params["rpc"])),
+            best(lambda: bench_registry_lookups(**params["fig10"])),
+            best(lambda: bench_index_queries(**params["fig10"])),
+        ]
+        kernel_trace = kernel_trace_fingerprint()
+        experiment = experiment_fingerprint()
     suite = {
         "suite": "bench_wallclock",
         "mode": "quick" if quick else "full",
         "repeats": repeats,
+        "jobs": jobs,
         "results": {r.name: r.to_dict() for r in results},
         "determinism": {
-            "kernel_trace": kernel_trace_fingerprint(),
-            "experiment": experiment_fingerprint(),
+            "kernel_trace": kernel_trace,
+            "experiment": experiment,
         },
         "peak_rss_kb": peak_rss_kb(),
     }
@@ -942,6 +1057,17 @@ def compare_to_baseline(
     the *same* machine family signals a real fast-path regression.
     """
     failures: List[str] = []
+    jobs, base_jobs = suite.get("jobs", 1), baseline.get("jobs", 1)
+    if jobs != base_jobs:
+        # Concurrent workers timeshare cores, so rates from different
+        # worker counts are not the same measurement — refuse loudly
+        # rather than produce a bogus pass or fail.
+        failures.append(
+            f"suite ran with jobs={jobs} but the baseline was recorded "
+            f"with jobs={base_jobs}; rates are not comparable — rerun "
+            "with matching --jobs or re-record the baseline"
+        )
+        return failures
     for name in ("kernel", "rpc"):
         current = suite["results"].get(name)
         base = baseline.get("results", {}).get(name)

@@ -27,6 +27,16 @@ and its display name is a lazy property — the old eager
 total runtime.  Recycling of processed timeouts lives in
 :class:`~repro.simkernel.kernel.Simulator` (see its free-list notes).
 
+Scheduling appends the event to its timestamp's bucket (the simulator's
+agenda is a bucket queue — see the kernel module docstring); the heap
+of distinct timestamps is only touched when a timestamp gains its first
+event, so the per-event cost is a dict probe plus a list append instead
+of an O(log n) sift with a 4-tuple allocation.  A timestamp with a
+single event — the common case on wire-transfer paths, where float
+latencies rarely collide — stores the event directly in the bucket
+dict; the list only materialises when a second event lands on the same
+timestamp, so singleton schedules allocate nothing at all.
+
 Waiter removal uses *lazy cancellation*: :meth:`Event.unsubscribe`
 tombstones the callback slot with ``None`` instead of ``list.remove``'s
 O(n) shift, and dispatch skips tombstones.  One ``unsubscribe`` cancels
@@ -112,8 +122,16 @@ class Event:
         self._ok = True
         self._value = value
         sim = self.sim
-        sim._seq += 1
-        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
+        when = sim._now + delay
+        buckets = sim._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = self
+            heappush(sim._times, when)
+        elif type(bucket) is list:
+            bucket.append(self)
+        else:
+            buckets[when] = [bucket, self]
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -127,8 +145,16 @@ class Event:
         self._ok = False
         self._value = exception
         sim = self.sim
-        sim._seq += 1
-        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
+        when = sim._now + delay
+        buckets = sim._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = self
+            heappush(sim._times, when)
+        elif type(bucket) is list:
+            bucket.append(self)
+        else:
+            buckets[when] = [bucket, self]
         return self
 
     def trigger(self, other: "Event") -> None:
@@ -209,8 +235,16 @@ class Timeout(Event):
         self._processed = False
         self.defused = False
         self.delay = delay
-        sim._seq += 1
-        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
+        when = sim._now + delay
+        buckets = sim._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = self
+            heappush(sim._times, when)
+        elif type(bucket) is list:
+            bucket.append(self)
+        else:
+            buckets[when] = [bucket, self]
 
     @property
     def name(self) -> str:  # shadows the Event slot: computed on demand

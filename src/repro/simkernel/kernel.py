@@ -1,19 +1,44 @@
 """The simulation event loop.
 
-A :class:`Simulator` owns an agenda (binary heap) of triggered events
-keyed by ``(time, priority, sequence)``.  ``run()`` pops events in
-order, advances the clock, and dispatches callbacks.  Processes are
-plain Python generators wrapped by :class:`repro.simkernel.process.Process`.
+A :class:`Simulator` owns an agenda of triggered events organised as a
+*bucket queue*: a binary heap of distinct timestamps plus, per
+timestamp, a FIFO list of the events scheduled for it (the *cohort*).
+``run()`` drains cohorts in timestamp order, advancing the clock once
+per cohort, and dispatches callbacks.  Processes are plain Python
+generators wrapped by :class:`repro.simkernel.process.Process`.
 
 Hot-path notes
 --------------
-``run()`` inlines the dispatch body instead of calling :meth:`step`
-per event, hoisting the heap, the trace flag and the bound ``heappop``
-into locals — the per-event method call and attribute traffic were a
-measurable fraction of total runtime.  The inlined body is kept
-byte-for-byte equivalent to :meth:`step`: same pop order, same clock
-update, same trace entry, same dispatch call, so the seeded event
-trace is identical whichever loop ran it.
+The old agenda was a single ``(time, priority, seq, event)`` heap, which
+paid two O(log n) sift passes plus a 4-tuple allocation for every event.
+Discrete-event workloads are heavily *cohorted* — synchronized
+processes, co-scheduled transmissions and monitor rounds land many
+events on the same timestamp — so the agenda now amortises the heap
+work across each cohort: one ``heappush``/``heappop`` of a bare float
+per *distinct* timestamp, and a plain ``list.append`` per event.
+Within a bucket, append order is dispatch order: sequence numbers are
+monotone, so FIFO order *is* the old ``(time, priority, seq)`` order
+for normal-priority events.  A timestamp holding a single event — the
+common case on wire-transfer paths, whose float arithmetic rarely
+collides — stores the event directly in the bucket dict and the list
+only materialises when a cohort actually forms, so singleton schedules
+allocate nothing.
+
+Urgent events (priority ``URGENT``: process initialization and
+interrupts) are always scheduled *at the current time* and must preempt
+every normal event of that timestamp, so they live in a dedicated FIFO
+drained before the agenda is touched and re-checked after every
+dispatch.  This reproduces the old heap's ``(time, 0, seq)``-pops-first
+ordering exactly.
+
+``run()`` inlines the dispatch body instead of calling :meth:`step` per
+event, hoisting the agenda structures, the bound list methods and the
+clock update (once per cohort, not per event) into locals.  The inlined
+body is kept equivalent to :meth:`step`: same dispatch order, same
+clock values, same callback runs, so the seeded event trace is
+identical whichever loop ran it.  The ``until=Event`` form rides the
+same fast loop (stopping right after the target's dispatch) instead of
+paying a per-event ``step()`` call.
 
 Processed :class:`~repro.simkernel.events.Timeout` objects are
 recycled through a bounded free list.  A timeout is only reclaimed
@@ -30,7 +55,7 @@ from __future__ import annotations
 from collections import deque
 from heapq import heappop, heappush
 from sys import getrefcount
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple, Union
 
 from repro.simkernel.errors import SimulationError
 from repro.simkernel.events import NORMAL, AllOf, AnyOf, Event, Timeout
@@ -73,8 +98,14 @@ class Simulator:
         if trace_limit is not None and trace_limit < 1:
             raise ValueError("trace_limit must be a positive integer")
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, int, Event]] = []
-        self._seq = 0
+        #: heap of distinct timestamps that have a pending bucket
+        self._times: List[float] = []
+        #: timestamp -> its pending events: a lone Event, or a list of
+        #: events in schedule order once a cohort forms
+        self._buckets: Dict[float, Any] = {}
+        #: urgent events (inits, interrupts) at the current time; always
+        #: dispatched before any bucket entry of the same timestamp
+        self._urgent: deque = deque()
         self.rng = RngRegistry(seed)
         self.trace = trace
         self.trace_limit = trace_limit
@@ -114,8 +145,16 @@ class Simulator:
             timeout = pool.pop()
             timeout.delay = delay
             timeout._value = value
-            self._seq += 1
-            heappush(self._heap, (self._now + delay, NORMAL, self._seq, timeout))
+            when = self._now + delay
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = timeout
+                heappush(self._times, when)
+            elif type(bucket) is list:
+                bucket.append(timeout)
+            else:
+                buckets[when] = [bucket, timeout]
             return timeout
         return Timeout(self, delay, value=value)
 
@@ -137,11 +176,32 @@ class Simulator:
     # -- scheduling (kernel-internal) --------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        """Put a triggered event on the agenda."""
+        """Put a triggered event on the agenda.
+
+        Urgent events preempt every normal event of the same timestamp;
+        the kernel only ever needs them *now* (process initialization,
+        interrupts), which is what lets them live in a plain FIFO
+        instead of forcing a priority field onto every bucket entry.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        if priority == NORMAL:
+            when = self._now + delay
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = event
+                heappush(self._times, when)
+            elif type(bucket) is list:
+                bucket.append(event)
+            else:
+                buckets[when] = [bucket, event]
+        else:
+            if delay:
+                raise ValueError(
+                    "urgent events must be scheduled at the current time"
+                )
+            self._urgent.append(event)
 
     def _recycle(self, event: Event) -> None:
         """Return a processed Timeout to the free list if nothing holds it.
@@ -167,14 +227,31 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if agenda empty)."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._urgent:
+            return self._now
+        return self._times[0] if self._times else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
-            raise EmptySchedule("no more events")
-        when, _prio, _seq, event = heappop(self._heap)
-        self._now = when
+        if self._urgent:
+            event = self._urgent.popleft()
+            when = self._now
+        else:
+            times = self._times
+            if not times:
+                raise EmptySchedule("no more events")
+            when = times[0]
+            bucket = self._buckets[when]
+            if type(bucket) is list:
+                event = bucket.pop(0)
+                if not bucket:
+                    heappop(times)
+                    del self._buckets[when]
+            else:
+                event = bucket
+                heappop(times)
+                del self._buckets[when]
+            self._now = when
         if self.trace:
             self.trace_log.append((when, repr(event)))
         event._dispatch()
@@ -190,8 +267,10 @@ class Simulator:
         * an :class:`Event` — run until that event is processed and
           return its value (raising its exception if it failed).
 
-        The numeric and drain forms inline the :meth:`step` body (see
-        the module docstring); behaviour and event order are identical.
+        All three forms ride the cohort fast loop (see the module
+        docstring) unless :attr:`trace` is on, in which case the
+        per-event :meth:`step` debug path runs instead; behaviour and
+        event order are identical either way.
         """
         if isinstance(until, Event):
             stop_value: List[Any] = []
@@ -205,39 +284,137 @@ class Simulator:
                     raise target.value
                 return target.value
             target.subscribe(_stop)
-            while not stop_value:
-                if not self._heap:
+            if self.trace:  # debug mode: take the per-event step() path
+                while not stop_value:
+                    if not (self._urgent or self._times):
+                        raise SimulationError(
+                            f"simulation ran out of events before {target!r} fired"
+                        )
+                    self.step()
+            else:
+                self._fast_drain(float("inf"), stop_value)
+                if not stop_value:
                     raise SimulationError(
                         f"simulation ran out of events before {target!r} fired"
                     )
-                self.step()
             if not target.ok:
                 target.defused = True
                 raise target.value
             return target.value
-
-        heap = self._heap
-        pop = heappop
-        pool = self._timeout_pool
-        timeout_cls = Timeout
-        refcount = getrefcount
 
         if until is not None:
             horizon = float(until)
             if horizon < self._now:
                 raise ValueError("cannot run until a time in the past")
             if self.trace:  # debug mode: take the per-event step() path
-                while heap and heap[0][0] <= horizon:
+                while self._urgent or (self._times and self._times[0] <= horizon):
                     self.step()
             else:
-                # Inlined step() body (dispatch + timeout recycling);
-                # identical pop order, clock updates and callback runs.
-                # A single waiter is the overwhelmingly common case, so
-                # dispatch indexes the list directly instead of paying
-                # for an iterator per event.
-                while heap and heap[0][0] <= horizon:
-                    when, _prio, _seq, event = pop(heap)
-                    self._now = when
+                self._fast_drain(horizon, ())
+            self._now = horizon
+            return None
+
+        if self.trace:  # debug mode: take the per-event step() path
+            while self._urgent or self._times:
+                self.step()
+            return None
+        self._fast_drain(float("inf"), ())
+        return None
+
+    def _fast_drain(self, horizon: float, stop) -> None:
+        """Drain cohorts through ``horizon`` (inclusive), no tracing.
+
+        ``stop`` is a list the ``until=Event`` form's callback appends
+        to (draining halts right after the dispatch that filled it) or
+        an empty tuple, which reduces the check to a constant-false
+        truthiness test for the numeric and drain-everything forms.
+
+        The inlined dispatch body matches :meth:`step` exactly: same
+        order, same clock updates, same callback runs, same timeout
+        recycling.  A single waiter is the overwhelmingly common case,
+        so dispatch indexes the callback list directly instead of
+        paying for an iterator per event.
+        """
+        times = self._times
+        buckets = self._buckets
+        urgent = self._urgent
+        pool = self._timeout_pool
+        pop_time = heappop
+        timeout_cls = Timeout
+        refcount = getrefcount
+        while True:
+            while urgent:
+                event = urgent.popleft()
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callback = callbacks[0]
+                        if callback is not None:
+                            callback(event)
+                    else:
+                        for callback in callbacks:
+                            if callback is not None:
+                                callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
+                if stop:
+                    return
+            if stop:
+                return
+            if not times:
+                return
+            when = times[0]
+            if when > horizon:
+                return
+            bucket = buckets[when]
+            self._now = when
+            if type(bucket) is not list:
+                # Singleton bucket: the event rides the dict slot
+                # directly.  Remove it before dispatch (same-time
+                # schedules from its callbacks re-create the bucket and
+                # re-push the timestamp, dispatching right after).
+                pop_time(times)
+                del buckets[when]
+                event = bucket
+                bucket = None  # recycle contract: loop local only
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callback = callbacks[0]
+                        if callback is not None:
+                            callback(event)
+                    else:
+                        for callback in callbacks:
+                            if callback is not None:
+                                callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
+                if (
+                    type(event) is timeout_cls
+                    and refcount(event) == 2
+                    and len(pool) < _POOL_LIMIT
+                ):
+                    event.callbacks = []
+                    event._processed = False
+                    event._value = None
+                    pool.append(event)
+                continue
+            i = 0
+            try:
+                # Cohort drain: every event in the bucket shares this
+                # timestamp, so the clock update above happens once per
+                # cohort and the heap is untouched until the bucket is
+                # exhausted.  Entries are cleared as they dispatch so
+                # the free-list refcount contract still sees the loop
+                # local as the only remaining reference.
+                while i < len(bucket):
+                    event = bucket[i]
+                    bucket[i] = None
+                    i += 1
                     event._processed = True
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -261,37 +438,16 @@ class Simulator:
                         event._processed = False
                         event._value = None
                         pool.append(event)
-            self._now = horizon
-            return None
-
-        if self.trace:  # debug mode: take the per-event step() path
-            while heap:
-                self.step()
-            return None
-        while heap:
-            when, _prio, _seq, event = pop(heap)
-            self._now = when
-            event._processed = True
-            callbacks = event.callbacks
-            event.callbacks = None
-            if callbacks:
-                if len(callbacks) == 1:
-                    callback = callbacks[0]
-                    if callback is not None:
-                        callback(event)
-                else:
-                    for callback in callbacks:
-                        if callback is not None:
-                            callback(event)
-            if event._ok is False and not event.defused:
-                raise event._value
-            if (
-                type(event) is timeout_cls
-                and refcount(event) == 2
-                and len(pool) < _POOL_LIMIT
-            ):
-                event.callbacks = []
-                event._processed = False
-                event._value = None
-                pool.append(event)
-        return None
+                    if urgent or stop:
+                        # urgent arrivals preempt the rest of the
+                        # cohort; the outer loop drains them and then
+                        # re-enters this bucket at the trimmed index
+                        break
+            finally:
+                # On every exit path (cohort done, urgent preemption,
+                # stop hit, or an exception from a callback) the bucket
+                # keeps exactly its undispatched tail.
+                del bucket[:i]
+                if not bucket:
+                    pop_time(times)
+                    del buckets[when]

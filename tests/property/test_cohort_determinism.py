@@ -1,0 +1,177 @@
+"""Property: the cohort-batched ``run()`` fast loop ≡ per-event ``step()``.
+
+The bucket-queue agenda drains same-timestamp cohorts in one clock
+update (see the kernel module docstring); these tests pin the contract
+that batching is *invisible*: for seeded workloads built almost
+entirely out of tied timestamps, the fast loop must dispatch the exact
+event sequence the per-event ``step()`` debug path does — including
+urgent preemption inside a cohort and the Timeout free-list recycling
+along the way — and the kernel-trace sha256 must agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import re
+
+import pytest
+
+from repro.simkernel import Simulator
+from repro.simkernel.kernel import EmptySchedule
+
+#: heavy repetition → most timestamps collide into multi-event cohorts
+DELAY_GRID = (0.25, 0.5, 0.5, 1.0, 1.0, 1.0, 2.0)
+
+_ADDR = re.compile(r"0x[0-9a-f]+")
+
+
+def _schedule(seed: int, n_procs: int = 12, ticks: int = 40):
+    rng = random.Random(seed)
+    return [[rng.choice(DELAY_GRID) for _ in range(ticks)]
+            for _ in range(n_procs)]
+
+
+def _build(sim: Simulator, order: list, schedule) -> None:
+    """A cohort-heavy workload: tickers, bare events, an interrupt.
+
+    Everything lands on grid timestamps, so cohorts of a dozen events
+    are the norm, and the interrupt exercises urgent preemption in the
+    middle of a cohort drain.
+    """
+
+    def ticker(pid: int):
+        for tick, delay in enumerate(schedule[pid]):
+            yield sim.timeout(delay)
+            order.append(("tick", pid, tick, sim.now))
+
+    for pid in range(len(schedule)):
+        sim.process(ticker(pid), name=f"ticker-{pid}")
+
+    # bare events succeeding straight into the agenda (no process)
+    for index, delay in enumerate((0.5, 1.0, 1.0, 2.5, 2.5, 2.5)):
+        event = sim.event(name=f"herald-{index}")
+        event.subscribe(
+            lambda e, index=index: order.append(("herald", index, sim.now))
+        )
+        event.succeed(value=index, delay=delay)
+
+    def victim():
+        try:
+            yield sim.timeout(1000.0)
+        except Exception:
+            order.append(("interrupted", sim.now))
+            yield sim.timeout(0.5)
+            order.append(("recovered", sim.now))
+
+    target = sim.process(victim(), name="victim")
+
+    def attacker():
+        # fires at t=3.0, a grid timestamp with a fat cohort: the
+        # urgent interrupt must preempt the cohort's remaining events
+        yield sim.timeout(3.0)
+        order.append(("attack", sim.now))
+        target.interrupt("now")
+
+    sim.process(attacker(), name="attacker")
+
+
+def _drain_by_step(sim: Simulator) -> None:
+    while True:
+        try:
+            sim.step()
+        except EmptySchedule:
+            return
+
+
+def _digest(order: list) -> str:
+    return hashlib.sha256(repr(order).encode()).hexdigest()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_run_matches_step_order_and_recycling(seed):
+    schedule = _schedule(seed)
+
+    fast_order: list = []
+    fast_sim = Simulator(seed=seed)
+    _build(fast_sim, fast_order, schedule)
+    fast_sim.run()
+
+    step_order: list = []
+    step_sim = Simulator(seed=seed)
+    _build(step_sim, step_order, schedule)
+    _drain_by_step(step_sim)
+
+    assert fast_order == step_order
+    assert _digest(fast_order) == _digest(step_order)
+    assert fast_sim.now == step_sim.now
+    # recycling engaged in the fast loop without perturbing the order
+    # above (eligibility is refcount-sensitive, so the two pools need
+    # not hold the same timeouts — only the dispatch order is
+    # contractual)
+    assert fast_sim._timeout_pool, "cohort drain never recycled a timeout"
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_until_event_form_matches_step(seed):
+    schedule = _schedule(seed, n_procs=8, ticks=25)
+
+    def build_with_target(sim, order):
+        _build(sim, order, schedule)
+        target = sim.event(name="target")
+        target.subscribe(lambda e: order.append(("target", sim.now)))
+        target.succeed(value="done", delay=4.5)
+        return target
+
+    fast_order: list = []
+    fast_sim = Simulator(seed=seed)
+    fast_target = build_with_target(fast_sim, fast_order)
+    assert fast_sim.run(until=fast_target) == "done"
+
+    step_order: list = []
+    step_sim = Simulator(seed=seed)
+    step_target = build_with_target(step_sim, step_order)
+    while not step_target.processed:
+        step_sim.step()
+
+    # the fast loop stopped right after the target's dispatch — not a
+    # single event earlier or later than the per-event path
+    assert fast_order == step_order
+    assert fast_sim.now == step_sim.now
+
+
+def test_trace_sha_matches_between_run_and_step():
+    """The traced event log hashes identically however it is driven."""
+    schedule = _schedule(seed=5)
+
+    def traced_digest(drive) -> str:
+        order: list = []
+        sim = Simulator(seed=5, trace=True)
+        _build(sim, order, schedule)
+        drive(sim)
+        normalized = "\n".join(
+            f"{when:.9f} {_ADDR.sub('0x0', label)}"
+            for when, label in sim.trace_log
+        )
+        return hashlib.sha256(normalized.encode()).hexdigest()
+
+    assert traced_digest(lambda sim: sim.run()) == traced_digest(_drain_by_step)
+
+
+def test_recycled_timeouts_are_reused():
+    """A drained run leaves a pool that the next timeout() draws from."""
+    sim = Simulator(seed=9)
+
+    def burner():
+        for _ in range(50):
+            yield sim.timeout(0.5)
+
+    sim.process(burner(), name="burner")
+    sim.run()
+    pool_len = len(sim._timeout_pool)
+    assert pool_len > 0
+    pooled = sim._timeout_pool[-1]
+    fresh = sim.timeout(0.25, value="again")
+    assert fresh is pooled  # identity reuse, not a new allocation
+    assert len(sim._timeout_pool) == pool_len - 1
+    assert fresh.delay == 0.25 and fresh._value == "again"
