@@ -26,6 +26,8 @@ Usage::
         --check-faults BENCH_faults.json
     python benchmarks/bench_wallclock.py --obs \
         --check-obs BENCH_obs.json
+    python benchmarks/bench_wallclock.py --storage \
+        --check-storage BENCH_storage.json
     python benchmarks/bench_wallclock.py --quick --jobs 4 --check-all
 
 ``--check-all`` runs every suite and gates each against its committed
@@ -68,6 +70,13 @@ than ``--max-overhead-increase`` over the committed baseline, every
 scheduled crash must be detected, the fragile/resilient error-budget
 verdicts must keep their contrast, and the detection/repair/digest
 fingerprints must match exactly.
+
+``--storage`` runs the Fig. 17 sharded-storage pair instead and
+emits/gates ``BENCH_storage.json``: the sharded backend's in-run CPU
+flatness ratio (per-lookup at the sweep size over the 10^3 anchor)
+must stay under ``--max-flatness`` (default 1.5x), the sharded lookup
+digests must match the flat dict exactly, and the shard placement /
+routed-vs-broadcast message and result fingerprints must not drift.
 
 Wall-clock rates vary across machines; the committed baseline is only
 a tripwire for large same-machine-family regressions, which is why the
@@ -206,6 +215,36 @@ def _print_faults_summary(suite) -> None:
     )
 
 
+def _print_storage_summary(suite) -> None:
+    result = suite["results"]["storage"]
+    details = result["details"]
+    fp = suite["fingerprint"]
+    print(f"bench_storage ({suite['mode']}, {details['n_types']:,d} types, "
+          f"{details['shards']} shards)")
+    print(
+        f"  storage {result['value']:>15,.0f} {result['metric']:<28s}"
+        f" ({result['wall_seconds']:.3f}s wall)"
+    )
+    print(
+        f"  per-lookup  dict {details['dict_per_lookup_ns']:.0f}ns"
+        f"  sharded {details['sharded_per_lookup_ns']:.0f}ns"
+        f"  (flatness {details['flatness_ratio']:.2f}x vs anchor, "
+        f"digests {'equal' if details['digests_equal'] else 'DIFFER'})"
+    )
+    print(
+        f"  shards  max {details['max_shard']:,d} resident"
+        f"  imbalance {details['imbalance']:.2f}"
+    )
+    routed_equal = (fp["baseline_result_digest"] == fp["routed_result_digest"])
+    print(
+        f"  routing  broadcast {fp['baseline_workload_messages']} msgs"
+        f"  routed {fp['routed_workload_messages']} msgs"
+        f"  ({fp['routed_route_hits']} owner hits, "
+        f"{fp['routed_fallbacks']} fallbacks, results "
+        f"{'equal' if routed_equal else 'DIFFER'})"
+    )
+
+
 #: repo-root baseline file per suite, in --check-all run order
 _BASELINES = {
     "kernel": "BENCH_kernel.json",
@@ -213,6 +252,7 @@ _BASELINES = {
     "provisioning": "BENCH_provisioning.json",
     "faults": "BENCH_faults.json",
     "obs": "BENCH_obs.json",
+    "storage": "BENCH_storage.json",
 }
 
 
@@ -247,6 +287,8 @@ def _check_all(args) -> int:
                  {"quick": args.quick}),
         WorkUnit("obs", "repro.perf:obs_suite",
                  {"quick": args.quick}),
+        WorkUnit("storage", "repro.perf:storage_suite",
+                 {"quick": args.quick}),
     ]
     started = _time.perf_counter()
     suites = dict(zip(_BASELINES, run_units(units, jobs=args.jobs)))
@@ -258,6 +300,7 @@ def _check_all(args) -> int:
         "provisioning": _print_provisioning_summary,
         "faults": _print_faults_summary,
         "obs": _print_obs_summary,
+        "storage": _print_storage_summary,
     }
     compare = {
         "kernel": lambda suite, baseline: (
@@ -274,6 +317,9 @@ def _check_all(args) -> int:
         "obs": lambda suite, baseline: perf.compare_obs_baseline(
             suite, baseline,
             max_overhead_increase=args.max_overhead_increase),
+        "storage": lambda suite, baseline: perf.compare_storage_baseline(
+            suite, baseline, max_regression=args.max_regression,
+            max_flatness=args.max_flatness),
     }
 
     failures = []
@@ -348,6 +394,14 @@ def main(argv=None) -> int:
     parser.add_argument("--max-overhead-increase", type=float, default=0.15,
                         help="tolerated growth of the instrumentation overhead "
                              "fraction over baseline (default 0.15)")
+    parser.add_argument("--storage", action="store_true",
+                        help="run the Fig. 17 sharded-storage pair instead")
+    parser.add_argument("--check-storage", metavar="PATH",
+                        help="fail on flatness loss / placement or routing "
+                             "drift vs this file")
+    parser.add_argument("--max-flatness", type=float, default=1.5,
+                        help="tolerated sharded per-lookup CPU ratio vs the "
+                             "in-run anchor point (default 1.5)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="fan (benchmark, repeat) batches of the kernel "
                              "suite across N worker processes (default 1)")
@@ -355,11 +409,32 @@ def main(argv=None) -> int:
                         help="run every suite and gate each against its "
                              "committed BENCH_*.json in one invocation "
                              "(kernel + resolution + provisioning + faults "
-                             "+ obs), with a timing summary")
+                             "+ obs + storage), with a timing summary")
     args = parser.parse_args(argv)
 
     if args.check_all:
         return _check_all(args)
+
+    if args.storage or args.check_storage:
+        suite = perf.storage_suite(quick=args.quick)
+        _print_storage_summary(suite)
+        if args.output:
+            perf.dump_suite(suite, args.output)
+            print(f"wrote {args.output}")
+        if args.check_storage:
+            with open(args.check_storage) as handle:
+                baseline = json.load(handle)
+            failures = perf.compare_storage_baseline(
+                suite, baseline, max_regression=args.max_regression,
+                max_flatness=args.max_flatness,
+            )
+            if failures:
+                print("FAIL:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print(f"storage baseline check passed ({args.check_storage})")
+        return 0
 
     if args.obs or args.check_obs:
         suite = perf.obs_suite(quick=args.quick)

@@ -7,9 +7,10 @@ Usage::
     python -m repro fig11 [--quick]
     python -m repro fig12
     python -m repro fig13 [--quick]
-    python -m repro fig14 [--quick]
+    python -m repro fig14 [--quick] [--scale]
     python -m repro fig15 [--quick]
     python -m repro fig16 [--quick] [--report-out FILE]
+    python -m repro fig17 [--quick]
     python -m repro all [--quick]
     python -m repro trace [deploy|lookup|election|churn] [--chrome-out FILE]
                           [--jsonl-out FILE]
@@ -44,6 +45,8 @@ import argparse
 import sys
 import time
 from typing import List, Optional
+
+from repro.runner import WorkerError  # stdlib-only import, safe for --help
 
 
 def _run_table1(quick: bool, jobs: int = 1) -> str:
@@ -83,16 +86,21 @@ def _run_fig12(quick: bool, jobs: int = 1) -> str:
     return format_fig12(run_fig12())
 
 
-def _run_fig14(quick: bool, jobs: int = 1) -> str:
+def _run_fig14(quick: bool, jobs: int = 1, scale: bool = False) -> str:
     from repro.experiments.fig14 import (
         format_fig14,
         run_fig14,
         run_revalidation_point,
     )
 
-    # The 1024-site point is the scale ceiling: gated out of --quick
-    # (its broadcast baseline alone costs ~10x the 256-site point).
+    # The 1024-site point is the scale ceiling for the exact broadcast
+    # baseline: gated out of --quick (it alone costs ~10x the 256-site
+    # point).  --scale adds the 4096-site point, whose baseline is
+    # *sampled* (measured on a site subset, O(n^2) extrapolated) — see
+    # EXPERIMENTS.md for the deviation.
     sizes = (16, 64) if quick else (16, 64, 128, 256, 1024)
+    if scale and not quick:
+        sizes = sizes + (4096,)
     return format_fig14(run_fig14(sizes=sizes, jobs=jobs),
                         revalidation=run_revalidation_point())
 
@@ -133,6 +141,14 @@ def _run_fig16(quick: bool, report_out: Optional[str] = None,
     return text + "\n\n" + slo_text
 
 
+def _run_fig17(quick: bool, jobs: int = 1) -> str:
+    from repro.experiments.fig17 import format_fig17, run_fig17
+
+    # quick sweeps the storage backends to 10^5 types; the full run
+    # adds the 10^6 point and the 16/64-group routing cells
+    return format_fig17(run_fig17(quick=quick, jobs=jobs))
+
+
 COMMANDS = {
     "table1": _run_table1,
     "fig10": _run_fig10,
@@ -142,6 +158,7 @@ COMMANDS = {
     "fig14": _run_fig14,
     "fig15": _run_fig15,
     "fig16": _run_fig16,
+    "fig17": _run_fig17,
 }
 
 
@@ -317,8 +334,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan independent work across N worker processes: whole "
-             "experiments for 'all', sweep points for fig14/fig15/fig16 "
-             "(results are byte-identical to a serial run)",
+             "experiments for 'all', sweep points for fig14/fig15/fig16/"
+             "fig17 (results are byte-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--scale", action="store_true",
+        help="fig14 only: add the 4096-site point with the sampled "
+             "(extrapolated) broadcast baseline — see EXPERIMENTS.md",
+    )
+    parser.add_argument(
+        "--error-out", metavar="FILE", default="repro-error.json",
+        help="where to write the full failure report when a sweep work "
+             "unit dies (the terminal shows a truncated traceback)",
     )
     args = parser.parse_args(argv)
 
@@ -339,42 +366,75 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
-    if args.experiment == "all" and args.jobs > 1:
-        # fan whole experiments across workers; print in name order so
-        # the output is byte-identical to a serial run (modulo timing)
-        from repro.runner import WorkUnit, run_units
+    try:
+        if args.experiment == "all" and args.jobs > 1:
+            # fan whole experiments across workers; print in name order
+            # so the output is byte-identical to a serial run (modulo
+            # timing)
+            from repro.runner import WorkUnit, run_units
 
-        started = time.time()
-        units = [
-            WorkUnit(
-                name=f"all:{name}",
-                fn="repro.cli:_run_command",
-                kwargs={
-                    "name": name,
-                    "quick": args.quick,
-                    "report_out": args.report_out if name == "fig16" else None,
-                },
-            )
-            for name in names
-        ]
-        texts = run_units(units, jobs=args.jobs)
-        for name, text in zip(names, texts):
+            started = time.time()
+            units = [
+                WorkUnit(
+                    name=f"all:{name}",
+                    fn="repro.cli:_run_command",
+                    kwargs={
+                        "name": name,
+                        "quick": args.quick,
+                        "report_out": (args.report_out if name == "fig16"
+                                       else None),
+                    },
+                )
+                for name in names
+            ]
+            texts = run_units(units, jobs=args.jobs)
+            for name, text in zip(names, texts):
+                print(f"=== {name} " + "=" * (70 - len(name)))
+                print(text)
+                print()
+            print(f"--- all done in {time.time() - started:.1f}s "
+                  f"({args.jobs} workers)")
+            return 0
+        for name in names:
+            started = time.time()
             print(f"=== {name} " + "=" * (70 - len(name)))
-            print(text)
-            print()
-        print(f"--- all done in {time.time() - started:.1f}s "
-              f"({args.jobs} workers)")
-        return 0
-    for name in names:
-        started = time.time()
-        print(f"=== {name} " + "=" * (70 - len(name)))
-        if name == "fig16":
-            print(_run_fig16(args.quick, report_out=args.report_out,
-                             jobs=args.jobs))
-        else:
-            print(COMMANDS[name](args.quick, jobs=args.jobs))
-        print(f"--- {name} done in {time.time() - started:.1f}s\n")
+            if name == "fig16":
+                print(_run_fig16(args.quick, report_out=args.report_out,
+                                 jobs=args.jobs))
+            elif name == "fig14":
+                print(_run_fig14(args.quick, jobs=args.jobs,
+                                 scale=args.scale))
+            else:
+                print(COMMANDS[name](args.quick, jobs=args.jobs))
+            print(f"--- {name} done in {time.time() - started:.1f}s\n")
+    except WorkerError as error:
+        _report_worker_error(error, args.error_out)
+        return 1
     return 0
+
+
+def _report_worker_error(error: "WorkerError", error_out: str) -> None:
+    """Truncated traceback to the terminal, full text to the artifact.
+
+    Sweep failures arrive through many layers of runner/simulator
+    plumbing; the terminal shows the innermost 20 frames, and the JSON
+    artifact keeps the complete report for CI upload / later digging.
+    """
+    import json as _json
+
+    from repro.runner import truncate_traceback
+
+    full = str(error)
+    print(truncate_traceback(full, max_frames=20), file=sys.stderr)
+    try:
+        with open(error_out, "w") as stream:
+            _json.dump({"error": "WorkerError", "detail": full}, stream,
+                       indent=2)
+        print(f"(full failure report written to {error_out})",
+              file=sys.stderr)
+    except OSError as write_error:  # pragma: no cover - fs permissions
+        print(f"(could not write {error_out}: {write_error})",
+              file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -42,6 +42,7 @@ from repro.glare.registry import (
     wire_site,
 )
 from repro.glare.resolution import ResolutionConfig, TypeDigest
+from repro.glare.storage import HashRing, StorageConfig
 from repro.glare.superpeer import OverlayManager, OverlayView
 from repro.gram.jobs import JobSpec
 from repro.gridftp.service import GridFtpService
@@ -437,6 +438,27 @@ class RequestManager:
                 ).inc()
                 return result
             others = self.rdm.overlay.other_super_peers()
+            # Shard routing: one RPC to the type's directory owner
+            # replaces the all-super-peers broadcast.  An owner whose
+            # answer is empty (handoff window, stale directory, owner
+            # down) falls through to the broadcast below, so routing
+            # never shrinks the result set.
+            ring = self.rdm.shard_ring
+            if ring is not None and len(ring) > 1 and others:
+                owner = ring.route(type_name)
+                if owner != me and owner in set(others):
+                    value = yield from self._safe_rpc(
+                        owner, "shard_lookup", {"type": type_name},
+                        timeout=30.0,
+                    )
+                    if value and value.get("deployments"):
+                        self.rdm.shard_route_hits += 1
+                        merged = _merge([result, value])
+                        self._cache_results(merged)
+                        return merged
+                    self.rdm.shard_fallbacks += 1
+                    if value:
+                        result = _merge([result, value])
             targeted = digest.groups_for(type_name) if digest is not None else None
             if targeted is not None:
                 candidates = [s for s in targeted if s in set(others)]
@@ -475,6 +497,39 @@ class RequestManager:
                 if (digest is not None and ttl > 0
                         and not merged["deployments"]):
                     digest.note_missing(type_name, self.sim.now, ttl)
+                return merged
+        return result
+
+    def shard_lookup(self, type_name: str) -> Generator:
+        """Directory-owner body of a routed cross-group lookup.
+
+        This site owns ``type_name``'s slice of the shard directory:
+        its digest holds the set of super-peer groups claiming the
+        type (fed by ``shard_note`` hand-offs).  Answer from the own
+        group first, then fan out only to the claiming groups — the
+        caller handles the empty-answer fallback.
+        """
+        digest = self.rdm.digest
+        result = yield from self.super_peer_lookup(type_name, forwarded=True)
+        if result["deployments"]:
+            return result
+        others = self.rdm.overlay.other_super_peers()
+        targeted = digest.groups_for(type_name) if digest is not None else None
+        if targeted:
+            candidates = [s for s in targeted if s in set(others)]
+            if candidates:
+                labeled = yield from self.fanout_labeled(
+                    candidates, "sp_lookup",
+                    {"type": type_name, "forwarded": True},
+                )
+                for sp_site, value in labeled:
+                    if value and value.get("deployments"):
+                        digest.learn_group(type_name, sp_site)
+                    else:
+                        digest.forget_group(type_name, sp_site)
+                merged = _merge([result] + [v for _, v in labeled])
+                if merged["deployments"]:
+                    self._cache_results(merged)
                 return merged
         return result
 
@@ -607,6 +662,7 @@ class GlareRDMService(Service):
         resolution: Optional[ResolutionConfig] = None,
         provisioning: Optional[ProvisioningConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        storage: Optional[StorageConfig] = None,
     ) -> None:
         super().__init__(network, site.name)
         #: default retry policy for this RDM's outbound RPC (``None``
@@ -623,6 +679,7 @@ class GlareRDMService(Service):
         self.provisioning = (
             provisioning if provisioning is not None else ProvisioningConfig()
         )
+        self.storage = storage if storage is not None else StorageConfig()
 
         self.request_manager = RequestManager(self)
         self.deployment_manager = DeploymentManager(
@@ -630,11 +687,24 @@ class GlareRDMService(Service):
         )
         self.overlay = OverlayManager(self, group_size=group_size)
         #: super-peer content digest (only populated while this site
-        #: holds the super-peer role; ``None`` when the feature is off)
+        #: holds the super-peer role; ``None`` when the feature is off).
+        #: Shard routing reuses the digest as its directory slice, so
+        #: enabling routing enables the digest machinery too.
         self.digest: Optional[TypeDigest] = (
-            TypeDigest() if self.resolution.digests else None
+            TypeDigest()
+            if self.resolution.digests or self.storage.routing
+            else None
         )
-        if self.resolution.digests:
+        #: consistent-hash ring over the current view's super-peers —
+        #: the shard-routing table (``None`` until a view lands, or
+        #: when routing is off)
+        self.shard_ring: Optional[HashRing] = None
+        #: type names already announced to their ring owners this view
+        self._forwarded_claims: set = set()
+        self.shard_route_hits = 0
+        self.shard_fallbacks = 0
+        self.shard_handoffs = 0
+        if self.digest is not None:
             self.overlay.on_view_applied = self._on_view_applied
             self.atr.on_local_registration = self._note_local_claims
             self.adr.on_local_registration = self._note_local_claims
@@ -712,9 +782,29 @@ class GlareRDMService(Service):
         Super-peer: the digest resets to the new epoch — every claim
         learned under the old grouping is invalid.  Member: push a full
         (bulk) claim note so the super-peer can rebuild absence trust.
+        With shard routing on, the ring is rebuilt over the new view's
+        super-peers and this site's slice of the directory is handed
+        off: claims are re-announced to their (possibly new) owners.
         """
         if self.digest is not None and view.role == "super-peer":
             self.digest.reset(view.epoch)
+        if self.storage.routing:
+            sps = sorted(view.super_peers)
+            self.shard_ring = (
+                HashRing(
+                    sps,
+                    virtual_nodes=self.storage.virtual_nodes,
+                    seed=self.storage.seed,
+                )
+                if sps
+                else None
+            )
+            self._forwarded_claims.clear()
+            if view.role == "super-peer":
+                self.sim.process(
+                    self._send_shard_notes(self.request_manager.local_claims()),
+                    name=f"shard-handoff:{self.node_name}",
+                )
         if view.role == "peer" and view.super_peer and view.super_peer != self.node_name:
             self.sim.process(
                 self._send_digest_note(full=True),
@@ -732,9 +822,16 @@ class GlareRDMService(Service):
             claims.extend(self.atr.hierarchy.ancestors(type_name))
         if self.digest is not None and self.overlay.is_super_peer:
             # a super-peer consults its own registries before any
-            # fan-out, so only the negative cache needs clearing
+            # fan-out, so only the negative cache needs clearing —
+            # plus, with routing on, announcing the new claims to
+            # their ring owners
             for name in claims:
                 self.digest.clear_missing(name)
+            if self.storage.routing:
+                self.sim.process(
+                    self._send_shard_notes(claims),
+                    name=f"shard-note:{self.node_name}",
+                )
             return
         view = self.overlay.view
         if view.role == "peer" and view.super_peer:
@@ -742,6 +839,71 @@ class GlareRDMService(Service):
                 self._send_digest_note(full=False, claims=claims),
                 name=f"digest-note:{self.node_name}",
             )
+
+    #: retry cadence/budget for refused or failed shard notes: covers
+    #: the overlay-formation window where a targeted owner has not
+    #: applied its view yet (or resets its digest just after the note
+    #: lands) without ever retrying forever into a dead node
+    SHARD_NOTE_RETRY_DELAY = 2.0
+    SHARD_NOTE_RETRY_LIMIT = 5
+
+    def _send_shard_notes(self, claims: List[str],
+                          attempt: int = 0) -> Generator:
+        """Detached process: announce claims to their ring-owner SPs.
+
+        Only *acknowledged* claims count as forwarded: group views land
+        at different times, so a note can reach an owner before that
+        owner is a routing-enabled super-peer (it refuses) or just
+        before its own view-apply wipes the digest (it acknowledges a
+        claim that no longer exists).  Refused and failed claims are
+        retried on a fixed cadence with a bounded budget; a claim still
+        undelivered after the budget only costs directory coverage —
+        lookups fall back to the loss-free broadcast, so results never
+        shrink.  The forwarded set clears on every view change, which
+        also restarts the announcement from scratch against the new
+        ring.
+        """
+        ring = self.shard_ring
+        if ring is None or len(ring) < 2 or not self.overlay.is_super_peer:
+            return
+        by_owner: Dict[str, List[str]] = {}
+        for name in claims:
+            if name in self._forwarded_claims:
+                continue
+            owner = ring.route(name)
+            if owner == self.node_name:
+                self._forwarded_claims.add(name)
+                continue  # my own digest is the slice for this name
+            by_owner.setdefault(owner, []).append(name)
+        pending: List[str] = []
+        for owner in sorted(by_owner):
+            names = by_owner[owner]
+            self.shard_handoffs += len(names)
+            try:
+                result = yield from self.rpc(
+                    owner, "shard_note",
+                    {"site": self.node_name, "claims": names},
+                    timeout=10.0,
+                )
+            except (OfflineError, RpcTimeout, GlareError):
+                result = None
+            if result and result.get("accepted"):
+                self._forwarded_claims.update(names)
+            else:
+                pending.extend(names)
+        if pending and attempt < self.SHARD_NOTE_RETRY_LIMIT:
+            ring_before = self.shard_ring
+
+            def retry() -> Generator:
+                yield self.sim.timeout(self.SHARD_NOTE_RETRY_DELAY)
+                # a view change already re-announces against the new
+                # ring; only retry while ours is still current
+                if self.shard_ring is ring_before:
+                    yield from self._send_shard_notes(
+                        pending, attempt=attempt + 1)
+
+            self.sim.process(
+                retry(), name=f"shard-note-retry:{self.node_name}")
 
     def _send_digest_note(self, full: bool,
                           claims: Optional[List[str]] = None) -> Generator:
@@ -1046,7 +1208,42 @@ class GlareRDMService(Service):
             payload.get("epoch", -1),
             payload.get("full", False),
         )
+        if self.storage.routing:
+            # the member's claims are now part of this group's content:
+            # hand them to their ring owners (deduplicated per view)
+            self.sim.process(
+                self._send_shard_notes(list(payload.get("claims", []))),
+                name=f"shard-note:{self.node_name}",
+            )
         return {"accepted": True}
+
+    def op_shard_note(self, message: Message) -> Generator:
+        """Another super-peer's claims for the directory slice I own.
+
+        Payload: ``{'site': origin super-peer, 'claims': [...]}``.
+        Refused (so the sender retries) until this site is a
+        routing-enabled super-peer with an applied view — group views
+        land at different times, and view epochs are per-group
+        counters, so the sender's epoch is meaningless here.  A stale
+        claim (sender demoted, claim gone) is self-pruning: the next
+        routed lookup that finds the claiming group empty forgets it.
+        """
+        payload = message.payload
+        yield from self.compute(0.0005 + 0.0001 * len(payload.get("claims", [])))
+        if (self.digest is None or not self.overlay.is_super_peer
+                or not self.storage.routing or self.overlay.view.epoch < 1):
+            return {"accepted": False}
+        for name in payload.get("claims", []):
+            self.digest.learn_group(name, payload["site"])
+            self.digest.clear_missing(name)
+        return {"accepted": True}
+
+    def op_shard_lookup(self, message: Message) -> Generator:
+        """Directory-owner query: answer from the groups that claim it."""
+        payload = message.payload
+        yield from self.compute(self.atr.lookup_demand)
+        result = yield from self.request_manager.shard_lookup(payload["type"])
+        return result
 
     def op_election_notice(self, message: Message) -> Generator:
         yield from self.compute(0.001)

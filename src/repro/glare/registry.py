@@ -24,6 +24,7 @@ from repro.glare.errors import (
 )
 from repro.glare.hierarchy import TypeHierarchy
 from repro.glare.model import ActivityDeployment, ActivityType, DeploymentStatus
+from repro.glare.storage import StorageConfig
 from repro.net.message import Message, Response
 from repro.net.service import Service
 from repro.wsrf.notification import NotificationBroker
@@ -115,6 +116,9 @@ class ActivityTypeRegistry(Service):
         CPU per type registration (WS-Resource creation, validation).
     per_visit_cost:
         CPU per node visited by an XPath query (same engine as MDS).
+    storage:
+        Backend selection for the resource homes; defaults to the flat
+        dict backend (byte-identical to the pre-backend registry).
     """
 
     SERVICE_NAME = ATR_SERVICE
@@ -127,16 +131,18 @@ class ActivityTypeRegistry(Service):
         register_demand: float = 0.62,
         per_visit_cost: float = 8e-6,
         cache_enabled: bool = True,
+        storage: Optional[StorageConfig] = None,
     ) -> None:
         super().__init__(network, node_name)
         self.lookup_demand = lookup_demand
         self.register_demand = register_demand
         self.per_visit_cost = per_visit_cost
         self.cache_enabled = cache_enabled
+        self.storage = storage if storage is not None else StorageConfig()
 
         self.hierarchy = TypeHierarchy()
-        self.home = ResourceHome()  # locally registered types
-        self.cache = ResourceHome()  # remotely discovered, cached types
+        self.home = ResourceHome(self.storage.make_backend())  # locally registered types
+        self.cache = ResourceHome(self.storage.make_backend())  # remotely discovered, cached types
         self.cache_sources: Dict[str, EndpointReference] = {}
         self.aggregation = ServiceGroup(self.sim, name=f"atr:{node_name}")
         #: WS-Notification: sinks subscribe to registry-change events
@@ -321,7 +327,10 @@ class ActivityTypeRegistry(Service):
         for key in keys:
             resource = self.home.lookup(key)
             luts[key] = None if resource is None else resource.last_update_time
-        return Response(value=luts, size=max(256, 40 * len(luts)))
+        # no explicit size: the default estimate_size(luts) accounts for
+        # the actual key lengths, where the old 40-bytes-per-entry
+        # heuristic undercharged batches of long type names
+        return Response(value=luts)
 
     def op_remove_type(self, message: Message) -> Generator:
         name = message.payload
@@ -388,16 +397,21 @@ class ActivityDeploymentRegistry(Service):
         lookup_demand: float = 0.004,
         register_demand: float = 0.17,
         cache_enabled: bool = True,
+        storage: Optional[StorageConfig] = None,
     ) -> None:
         super().__init__(network, node_name)
         self.atr = atr
         self.lookup_demand = lookup_demand
         self.register_demand = register_demand
         self.cache_enabled = cache_enabled
+        self.storage = storage if storage is not None else StorageConfig()
 
+        # denormalized indexes (deployments/by_type/...) stay plain
+        # dicts: they are per-site working sets, not the sharded
+        # namespace — only the resource homes go through the backend
         self.deployments: Dict[str, ActivityDeployment] = {}
-        self.home = ResourceHome()
-        self.cache = ResourceHome()
+        self.home = ResourceHome(self.storage.make_backend())
+        self.cache = ResourceHome(self.storage.make_backend())
         self.cached_deployments: Dict[str, ActivityDeployment] = {}
         self.cache_sources: Dict[str, EndpointReference] = {}
         self.by_type: Dict[str, List[str]] = {}
@@ -613,7 +627,9 @@ class ActivityDeploymentRegistry(Service):
         for key in keys:
             resource = self.home.lookup(key)
             luts[key] = None if resource is None else resource.last_update_time
-        return Response(value=luts, size=max(256, 40 * len(luts)))
+        # sized by estimate_size(luts), like the ATR's batch op: exact
+        # for long deployment keys where 40*len(luts) undercharged
+        return Response(value=luts)
 
     def op_remove_deployment(self, message: Message) -> Generator:
         key = message.payload

@@ -27,6 +27,11 @@ proven not to change any simulated-time result:
   churn pair (fragile vs resilient under super-peer churn) whose
   deterministic success rates, takeover latencies and outcome digests
   gate the fault plane + recovery path via ``BENCH_faults.json``;
+* :func:`bench_storage` / :func:`storage_fingerprint` — the Fig. 17
+  registry-backend pair (flat dict vs consistent-hash shards) whose
+  in-run CPU flatness ratio, placement digests and simulated routing
+  message counts gate the sharded storage layer via
+  ``BENCH_storage.json``;
 * :func:`kernel_trace_fingerprint` / :func:`experiment_fingerprint` —
   deterministic digests of the seeded event trace and of end-to-end
   simulated outputs (byte totals, throughputs).  Two runs of the same
@@ -820,6 +825,167 @@ def compare_obs_baseline(
             failures.append(
                 f"obs fingerprint drift: {key} changed "
                 f"({fp.get(key)!r} vs {base_fp.get(key)!r})"
+            )
+    return failures
+
+
+# -- sharded-storage benchmark (Fig. 17 machinery) --------------------------
+
+
+def bench_storage(n_types: int = 100_000, shards: int = 16) -> BenchResult:
+    """Registry-backend lookup cost: flat dict vs consistent-hash shards.
+
+    Loads both backends at a small anchor size and at ``n_types``, and
+    reports warm per-lookup CPU for each.  The headline rate is sharded
+    lookups per wall second at ``n_types``; the *in-run flatness ratio*
+    (sharded per-lookup at ``n_types`` over the anchor point) lands in
+    ``details`` — it is a same-machine ratio, so it travels across
+    hosts the way absolute nanoseconds never do.
+    """
+    from repro.experiments.fig17 import run_storage_point
+
+    anchor_size = 1_000
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    anchor = run_storage_point(anchor_size, shard_counts=(shards,))
+    point = run_storage_point(n_types, shard_counts=(shards,))
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - start
+    sharded = {p.backend: p for p in point}[f"sharded/{shards}"]
+    sharded_anchor = {p.backend: p for p in anchor}[f"sharded/{shards}"]
+    return BenchResult(
+        name="storage",
+        metric="sharded_lookups_per_wall_sec",
+        value=1e9 / sharded.per_lookup_ns,
+        wall_seconds=wall,
+        work_units=2 * (n_types + anchor_size),  # records loaded
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
+        details={
+            "n_types": n_types,
+            "shards": shards,
+            "dict_per_lookup_ns": point[0].per_lookup_ns,
+            "sharded_per_lookup_ns": sharded.per_lookup_ns,
+            "flatness_ratio": (sharded.per_lookup_ns
+                               / sharded_anchor.per_lookup_ns),
+            "max_shard": sharded.max_shard,
+            "imbalance": sharded.imbalance,
+            "digests_equal": all(p.digest_matches_dict for p in point),
+        },
+    )
+
+
+def storage_fingerprint(seed: int = 23) -> Dict[str, Any]:
+    """Deterministic digest of the sharded storage layer's behaviour.
+
+    Pure-placement figures (lookup digests, shard occupancy) plus one
+    simulated routing pair (broadcast vs shard-directory escalation at
+    4 super-peer groups): message counts, route hits and result-set
+    digests are all simulated, so two runs of the same tree must match
+    exactly; the committed ``BENCH_storage.json`` pins them.
+    """
+    from repro.experiments.fig17 import (
+        _load_backend,
+        _lookup_digest,
+        _lookup_sample,
+        run_routing_point,
+    )
+    from repro.glare.storage import DictBackend, StorageConfig
+
+    placement: Dict[str, Any] = {}
+    for n_types in (1_000, 10_000):
+        sample = _lookup_sample(n_types)
+        flat = DictBackend()
+        _load_backend(flat, n_types)
+        placement[f"dict/{n_types}"] = _lookup_digest(flat, sample)
+        for shards in (4, 16):
+            backend = StorageConfig.sharded(shards=shards).make_backend()
+            _load_backend(backend, n_types)
+            sizes = backend.shard_sizes()
+            placement[f"sharded/{shards}/{n_types}"] = {
+                "lookup_digest": _lookup_digest(backend, sample),
+                "shard_sizes": dict(sorted(sizes.items())),
+            }
+
+    base = run_routing_point(4, 1_000, routed=False, seed=seed)
+    routed = run_routing_point(4, 1_000, routed=True, seed=seed)
+    return {
+        "seed": seed,
+        "placement": placement,
+        "baseline_workload_messages": base.workload_messages,
+        "routed_workload_messages": routed.workload_messages,
+        "routed_route_hits": routed.shard_route_hits,
+        "routed_fallbacks": routed.shard_fallbacks,
+        "baseline_result_digest": base.result_digest,
+        "routed_result_digest": routed.result_digest,
+    }
+
+
+def storage_suite(quick: bool = False) -> Dict[str, Any]:
+    """The ``BENCH_storage.json`` payload (bench + fingerprint).
+
+    The fingerprint uses the same cheap sizes in both modes, so a quick
+    CI run gates against a baseline recorded with the full suite.
+    """
+    result = bench_storage(**({"n_types": 10_000} if quick else {}))
+    return {
+        "suite": "bench_storage",
+        "mode": "quick" if quick else "full",
+        "results": {result.name: result.to_dict()},
+        "fingerprint": storage_fingerprint(),
+    }
+
+
+def compare_storage_baseline(
+    suite: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.25,
+    max_flatness: float = 1.5,
+) -> List[str]:
+    """Gate the sharded storage layer against a committed baseline.
+
+    The CPU gate is the in-run flatness *ratio* (generous: fig17 itself
+    asserts 1.3x; the CI tripwire allows ``max_flatness`` so shared
+    runners don't flake).  Everything else is deterministic: lookup
+    digests must never diverge from the flat dict, shard placement and
+    routing message counts must not drift, and the routed series must
+    return the same result sets as the broadcast baseline.
+    """
+    failures: List[str] = []
+    current = suite["results"].get("storage", {}).get("details", {})
+    if current:
+        ratio = current.get("flatness_ratio", 0.0)
+        if ratio > max_flatness:
+            failures.append(
+                f"storage: sharded per-lookup CPU at N="
+                f"{current.get('n_types')} is {ratio:.2f}x the anchor "
+                f"point (cap {max_flatness:.2f}x) — lookups are no "
+                "longer flat"
+            )
+        if not current.get("digests_equal", False):
+            failures.append(
+                "storage: sharded backend returned different lookup "
+                "results than the flat dict"
+            )
+    fp, base_fp = suite.get("fingerprint", {}), baseline.get("fingerprint", {})
+    if fp.get("baseline_result_digest") != fp.get("routed_result_digest"):
+        failures.append(
+            "storage: shard-routed resolution returned different result "
+            "sets than the broadcast baseline"
+        )
+    base_msgs = base_fp.get("routed_workload_messages", 0)
+    if base_msgs and (fp.get("routed_workload_messages", 0)
+                      > base_msgs * (1.0 + max_regression)):
+        failures.append(
+            f"storage: routed workload messages rose above baseline "
+            f"({fp.get('routed_workload_messages')} vs {base_msgs})"
+        )
+    for key in ("placement", "baseline_workload_messages",
+                "routed_route_hits", "routed_fallbacks",
+                "baseline_result_digest", "routed_result_digest"):
+        if key in base_fp and fp.get(key) != base_fp.get(key):
+            failures.append(
+                f"storage fingerprint drift: {key} changed"
             )
     return failures
 

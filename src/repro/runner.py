@@ -136,6 +136,8 @@ def run_units(
     :class:`WorkerError` (collection order, i.e. deterministic when
     several fail).
     """
+    if not units:
+        return []
     names = [unit.name for unit in units]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate work unit names: {sorted(names)}")
@@ -145,6 +147,31 @@ def run_units(
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(_run_unit, unit) for unit in units]
         return [future.result() for future in futures]
+
+
+def truncate_traceback(text: str, max_frames: int = 20) -> str:
+    """Keep a traceback's header and its last ``max_frames`` frames.
+
+    Deep sweeps fail through many layers of runner/simulator plumbing;
+    the frames that matter are the innermost ones.  Renderers (the CLI)
+    show this truncated form; artifact writers keep the full text.
+    A ``WorkerError`` message is "header line\\n<child traceback>" —
+    everything before the first ``"  File "`` line is preserved
+    verbatim, then all but the last ``max_frames`` frame blocks are
+    replaced with an elision marker.
+    """
+    lines = text.splitlines()
+    frame_starts = [i for i, line in enumerate(lines)
+                    if line.startswith("  File ")]
+    if len(frame_starts) <= max_frames:
+        return text
+    keep_from = frame_starts[-max_frames]
+    dropped = len(frame_starts) - max_frames
+    return "\n".join(
+        lines[:frame_starts[0]]
+        + [f"  [... {dropped} outer frames elided ...]"]
+        + lines[keep_from:]
+    )
 
 
 def merge_digests(named_digests: Mapping[str, str]) -> str:
@@ -167,4 +194,5 @@ __all__ = [
     "derive_seed",
     "merge_digests",
     "run_units",
+    "truncate_traceback",
 ]

@@ -23,6 +23,7 @@ from repro.glare.provisioning import ProvisioningConfig
 from repro.glare.rdm import GlareRDMService, RDM_SERVICE
 from repro.glare.resolution import ResolutionConfig
 from repro.glare.registry import ActivityDeploymentRegistry, ActivityTypeRegistry
+from repro.glare.storage import StorageConfig
 from repro.gram.service import GramService
 from repro.gridarm.reservation import ReservationService
 from repro.gridftp.service import GridFtpService, UrlCatalog
@@ -66,6 +67,9 @@ class VOConfig:
     #: provisioning-path scaling switches (``None`` = everything off,
     #: preserving the byte-identical baseline behaviour)
     provisioning: Optional[ProvisioningConfig] = None
+    #: registry storage backend + shard routing (``None`` = flat dict
+    #: backend, no routing — byte-identical baseline behaviour)
+    storage: Optional[StorageConfig] = None
     #: model fair-share bandwidth contention on shared links; off by
     #: default (the baseline charges every transfer the full bottleneck
     #: bandwidth regardless of concurrency)
@@ -284,10 +288,12 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
         )
         stack.gram = GramService(vo.network, name, submission_overhead=config.gram_overhead)
         stack.atr = ActivityTypeRegistry(
-            vo.network, name, cache_enabled=config.cache_enabled
+            vo.network, name, cache_enabled=config.cache_enabled,
+            storage=config.storage,
         )
         stack.adr = ActivityDeploymentRegistry(
-            vo.network, name, atr=stack.atr, cache_enabled=config.cache_enabled
+            vo.network, name, atr=stack.atr, cache_enabled=config.cache_enabled,
+            storage=config.storage,
         )
         stack.gridarm = ReservationService(vo.network, name)
         stack.rdm = GlareRDMService(
@@ -298,6 +304,7 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
             resolution=config.resolution,
             provisioning=config.provisioning,
             retry_policy=config.rpc_retry,
+            storage=config.storage,
         )
         if config.admission_limit is not None:
             stack.rdm.admission_limit = config.admission_limit

@@ -12,16 +12,23 @@ The :class:`ResourceHome` stores resources in a **hash table keyed by
 name**, which is precisely the mechanism the paper credits for the
 registry outperforming the XPath-scanning WS-MDS index ("the registry
 services use hash tables to access named resources ... significantly
-improves the performance").
+improves the performance").  Storage is pluggable: the home owns the
+registry semantics (destroyed-purge on read, expiry sweeps) and
+delegates raw key/value mechanics to a
+:class:`repro.glare.storage.RegistryBackend` — flat dict by default,
+consistent-hash sharded when a ``StorageConfig`` selects it.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.wsrf.xmldoc import Element
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.glare.storage import RegistryBackend
 
 _RESOURCE_SERIAL = itertools.count(1)
 
@@ -130,41 +137,61 @@ class WSResource:
 
 
 class ResourceHome:
-    """Hash-table store of WS-Resources, keyed by resource key."""
+    """Keyed store of WS-Resources over a pluggable storage backend.
 
-    def __init__(self) -> None:
-        self._resources: Dict[str, WSResource] = {}
+    The home owns the registry semantics — destroyed entries are purged
+    on read, expiry sweeps destroy-and-drop — while the raw key/value
+    mechanics live in a :class:`~repro.glare.storage.RegistryBackend`.
+    The default backend is the flat hash table the paper describes
+    (byte-identical to the pre-backend ``dict``, including insertion
+    order on scans).
+    """
+
+    def __init__(self, backend: Optional["RegistryBackend"] = None) -> None:
+        if backend is None:
+            # Imported lazily: repro.glare's package init imports the
+            # registry module, which imports repro.wsrf — a module-level
+            # import here would cycle.  By construction time both
+            # packages are fully loaded.
+            from repro.glare.storage import DictBackend
+
+            backend = DictBackend()
+        self.backend = backend
 
     def __len__(self) -> int:
-        return len(self._resources)
+        return len(self.backend)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._resources
+        return key in self.backend
 
     def add(self, resource: WSResource) -> WSResource:
         """Insert; replaces any existing resource under the same key."""
-        self._resources[resource.key] = resource
+        self.backend.put(resource.key, resource)
         return resource
 
     def lookup(self, key: str) -> Optional[WSResource]:
         """O(1) named lookup — the registry fast path."""
-        resource = self._resources.get(key)
+        resource = self.backend.get(key)
         if resource is not None and resource.destroyed:
-            del self._resources[key]
+            self.backend.delete(key)
             return None
         return resource
 
+    def lut(self, key: str) -> Optional[float]:
+        """LastUpdateTime of the resource under ``key`` (None if absent)."""
+        return self.backend.lut(key)
+
     def remove(self, key: str) -> Optional[WSResource]:
         """Remove and return the resource under ``key`` (if any)."""
-        return self._resources.pop(key, None)
+        return self.backend.delete(key)
 
     def keys(self) -> List[str]:
         """All live resource keys."""
-        return [k for k, r in self._resources.items() if not r.destroyed]
+        return [k for k, r in self.backend.scan() if not r.destroyed]
 
     def resources(self) -> Iterator[WSResource]:
         """Iterate over live resources."""
-        for resource in list(self._resources.values()):
+        for _, resource in self.backend.scan():
             if not resource.destroyed:
                 yield resource
 
@@ -177,5 +204,5 @@ class ResourceHome:
         expired = [r for r in self.resources() if r.is_expired(now)]
         for resource in expired:
             resource.destroy()
-            self._resources.pop(resource.key, None)
+            self.backend.delete(resource.key)
         return expired

@@ -17,6 +17,7 @@ from repro.runner import (
     derive_seed,
     merge_digests,
     run_units,
+    truncate_traceback,
 )
 
 
@@ -47,6 +48,11 @@ class TestRunUnits:
         ]
         assert run_units(units, jobs=4) == run_units(units, jobs=1)
 
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_empty_unit_list_returns_empty(self, jobs):
+        # must not spin up a pool (jobs=4) just to do nothing
+        assert run_units([], jobs=jobs) == []
+
     def test_duplicate_names_rejected(self):
         units = [
             WorkUnit(name="dup", fn="tests.test_runner:_square", kwargs={"x": 1}),
@@ -70,6 +76,43 @@ class TestRunUnits:
         assert "kaboom" in text
         assert "tests.test_runner:_boom" in text
         assert "deliberate failure" in text
+
+
+class TestTruncateTraceback:
+    def _deep_traceback(self, depth=40):
+        # synthetic: real recursive tracebacks get collapsed by
+        # CPython's "[Previous line repeated ...]" folding, which is
+        # exactly the shape deep sweep failures do NOT have (they cross
+        # many distinct runner/simulator frames)
+        lines = ["work unit 'deep' failed:",
+                 "Traceback (most recent call last):"]
+        for i in range(depth):
+            lines.append(f'  File "/x/layer{i}.py", line {i + 1}, in step{i}')
+            lines.append(f"    step{i + 1}()")
+        lines.append('  File "/x/bottom.py", line 1, in recurse')
+        lines.append('    raise RuntimeError("bottom of the stack")')
+        lines.append("RuntimeError: bottom of the stack")
+        return "\n".join(lines)
+
+    def test_short_traceback_untouched(self):
+        units = [WorkUnit(name="kaboom", fn="tests.test_runner:_boom",
+                          kwargs={"message": "short"})]
+        with pytest.raises(WorkerError) as excinfo:
+            run_units(units, jobs=1)
+        text = str(excinfo.value)
+        assert truncate_traceback(text) == text
+
+    def test_deep_traceback_keeps_header_and_tail(self):
+        text = self._deep_traceback()
+        truncated = truncate_traceback(text, max_frames=20)
+        assert truncated != text
+        # header preserved, innermost frames preserved, marker present
+        assert truncated.startswith("work unit 'deep' failed:")
+        assert "bottom of the stack" in truncated
+        assert "outer frames elided" in truncated
+        assert truncated.count("  File ") == 20
+        # the kept frames are the innermost ones (the raise site)
+        assert "in recurse" in truncated.rsplit("  File ", 1)[1]
 
 
 class TestDeterministicMerge:
