@@ -28,6 +28,8 @@ Usage::
         --check-obs BENCH_obs.json
     python benchmarks/bench_wallclock.py --storage \
         --check-storage BENCH_storage.json
+    python benchmarks/bench_wallclock.py --workload \
+        --check-workload BENCH_workload.json
     python benchmarks/bench_wallclock.py --quick --jobs 4 --check-all
 
 ``--check-all`` runs every suite and gates each against its committed
@@ -77,6 +79,14 @@ flatness ratio (per-lookup at the sweep size over the 10^3 anchor)
 must stay under ``--max-flatness`` (default 1.5x), the sharded lookup
 digests must match the flat dict exactly, and the shard placement /
 routed-vs-broadcast message and result fingerprints must not drift.
+
+``--workload`` runs the Fig. 18 open-loop workload plane instead and
+emits/gates ``BENCH_workload.json``: the arrival engine must sustain
+at least ``--min-arrival-rate`` (default 10^6) generated + scheduled
+arrivals per wall second, the full overload path must stay memory-flat
+(RSS growth of the measured run under an absolute cap, streaming-stats
+footprint bounded by its fixed histogram grid), and the arrival-trace
+/ overload-outcome fingerprints must match exactly.
 
 Wall-clock rates vary across machines; the committed baseline is only
 a tripwire for large same-machine-family regressions, which is why the
@@ -245,6 +255,37 @@ def _print_storage_summary(suite) -> None:
     )
 
 
+def _print_workload_summary(suite) -> None:
+    engine = suite["results"]["workload"]
+    details = engine["details"]
+    print(f"bench_workload ({suite['mode']}, "
+          f"{details['arrivals']:,d} arrivals, {details['cohorts']:,d} cohorts)")
+    print(
+        f"  workload {engine['value']:>14,.0f} {engine['metric']:<24s}"
+        f" ({details['generate_seconds']:.3f}s generate, "
+        f"{details['schedule_seconds']:.3f}s schedule)"
+    )
+    memory = suite["results"].get("workload_memory")
+    if memory:
+        md = memory["details"]
+        print(
+            f"  open-loop path  {memory['value']:,.0f} sim arrivals/wall-sec"
+            f"  ({md['target_arrivals']:,d} arrivals, "
+            f"{memory['wall_seconds']:.1f}s wall)"
+        )
+        print(
+            f"  memory  +{md['target_rss_growth_kb']:,d} kB RSS"
+            f" ({md['rss_bytes_per_arrival']:.0f} B/arrival)"
+            f"  stats footprint {md['stats_footprint_bytes']:,d} B"
+        )
+    fp = suite["fingerprint"]
+    print(
+        f"  overload point  {fp['point_completed']:,d} ok"
+        f"  {fp['point_shed']:,d} shed"
+        f"  digest {fp['point_result_digest'][:16]}…"
+    )
+
+
 #: repo-root baseline file per suite, in --check-all run order
 _BASELINES = {
     "kernel": "BENCH_kernel.json",
@@ -253,18 +294,19 @@ _BASELINES = {
     "faults": "BENCH_faults.json",
     "obs": "BENCH_obs.json",
     "storage": "BENCH_storage.json",
+    "workload": "BENCH_workload.json",
 }
 
 
 def _check_all(args) -> int:
     """Run every suite and gate each against its committed baseline.
 
-    One invocation replaces the five separate ``--check-*`` runs CI
-    used to make; failures aggregate across suites so one bad gate
-    doesn't mask the others, and a timing summary at the end makes
-    harness wall-time regressions visible in the job log.
+    One invocation replaces the separate ``--check-*`` runs CI used to
+    make; failures aggregate across suites so one bad gate doesn't
+    mask the others, and a timing summary at the end makes harness
+    wall-time regressions visible in the job log.
 
-    ``--jobs N`` fans the five *suites* across worker processes (one
+    ``--jobs N`` fans the *suites* across worker processes (one
     suite per worker, serial inside).  With workers matched to cores,
     each suite keeps a core to itself and its wall rates stay
     comparable to a serially recorded baseline — unlike fanning the
@@ -289,6 +331,8 @@ def _check_all(args) -> int:
                  {"quick": args.quick}),
         WorkUnit("storage", "repro.perf:storage_suite",
                  {"quick": args.quick}),
+        WorkUnit("workload", "repro.perf:workload_suite",
+                 {"quick": args.quick}),
     ]
     started = _time.perf_counter()
     suites = dict(zip(_BASELINES, run_units(units, jobs=args.jobs)))
@@ -301,6 +345,7 @@ def _check_all(args) -> int:
         "faults": _print_faults_summary,
         "obs": _print_obs_summary,
         "storage": _print_storage_summary,
+        "workload": _print_workload_summary,
     }
     compare = {
         "kernel": lambda suite, baseline: (
@@ -320,6 +365,8 @@ def _check_all(args) -> int:
         "storage": lambda suite, baseline: perf.compare_storage_baseline(
             suite, baseline, max_regression=args.max_regression,
             max_flatness=args.max_flatness),
+        "workload": lambda suite, baseline: perf.compare_workload_baseline(
+            suite, baseline, min_arrival_rate=args.min_arrival_rate),
     }
 
     failures = []
@@ -402,6 +449,14 @@ def main(argv=None) -> int:
     parser.add_argument("--max-flatness", type=float, default=1.5,
                         help="tolerated sharded per-lookup CPU ratio vs the "
                              "in-run anchor point (default 1.5)")
+    parser.add_argument("--workload", action="store_true",
+                        help="run the Fig. 18 open-loop workload plane instead")
+    parser.add_argument("--check-workload", metavar="PATH",
+                        help="fail on arrival-rate loss / memory growth / "
+                             "trace drift vs this file")
+    parser.add_argument("--min-arrival-rate", type=float, default=1_000_000.0,
+                        help="required generated+scheduled arrivals per wall "
+                             "second (default 1e6)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="fan (benchmark, repeat) batches of the kernel "
                              "suite across N worker processes (default 1)")
@@ -409,11 +464,32 @@ def main(argv=None) -> int:
                         help="run every suite and gate each against its "
                              "committed BENCH_*.json in one invocation "
                              "(kernel + resolution + provisioning + faults "
-                             "+ obs + storage), with a timing summary")
+                             "+ obs + storage + workload), with a timing "
+                             "summary")
     args = parser.parse_args(argv)
 
     if args.check_all:
         return _check_all(args)
+
+    if args.workload or args.check_workload:
+        suite = perf.workload_suite(quick=args.quick)
+        _print_workload_summary(suite)
+        if args.output:
+            perf.dump_suite(suite, args.output)
+            print(f"wrote {args.output}")
+        if args.check_workload:
+            with open(args.check_workload) as handle:
+                baseline = json.load(handle)
+            failures = perf.compare_workload_baseline(
+                suite, baseline, min_arrival_rate=args.min_arrival_rate,
+            )
+            if failures:
+                print("FAIL:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print(f"workload baseline check passed ({args.check_workload})")
+        return 0
 
     if args.storage or args.check_storage:
         suite = perf.storage_suite(quick=args.quick)

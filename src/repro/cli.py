@@ -11,6 +11,7 @@ Usage::
     python -m repro fig15 [--quick]
     python -m repro fig16 [--quick] [--report-out FILE]
     python -m repro fig17 [--quick]
+    python -m repro fig18 [--quick]
     python -m repro all [--quick]
     python -m repro trace [deploy|lookup|election|churn] [--chrome-out FILE]
                           [--jsonl-out FILE]
@@ -149,6 +150,14 @@ def _run_fig17(quick: bool, jobs: int = 1) -> str:
     return format_fig17(run_fig17(quick=quick, jobs=jobs))
 
 
+def _run_fig18(quick: bool, jobs: int = 1) -> str:
+    from repro.experiments.fig18 import format_fig18, run_fig18
+
+    # open-loop overload sweep + flash crowd + mass-provisioning wave;
+    # the sweep points, flash and wave scenarios fan out across workers
+    return format_fig18(run_fig18(quick=quick, jobs=jobs))
+
+
 COMMANDS = {
     "table1": _run_table1,
     "fig10": _run_fig10,
@@ -159,6 +168,7 @@ COMMANDS = {
     "fig15": _run_fig15,
     "fig16": _run_fig16,
     "fig17": _run_fig17,
+    "fig18": _run_fig18,
 }
 
 
@@ -335,7 +345,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="fan independent work across N worker processes: whole "
              "experiments for 'all', sweep points for fig14/fig15/fig16/"
-             "fig17 (results are byte-identical to a serial run)",
+             "fig17/fig18 (results are byte-identical to a serial run)",
     )
     parser.add_argument(
         "--scale", action="store_true",

@@ -8,9 +8,10 @@ comparisons (Figs. 10/11/13).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Generator, Optional
 
 from repro.glare.model import ActivityType
+from repro.load.stats import LatencyDigest
 from repro.net.network import RpcTimeout
 from repro.simkernel import Simulator
 from repro.simkernel.errors import Interrupt, OfflineError
@@ -48,22 +49,40 @@ def synthetic_activity_type(index: int) -> ActivityType:
 
 @dataclass
 class ClientStats:
-    """What a load generator records."""
+    """What a load generator records — streaming, no per-request list.
+
+    ``observations``/``response_total`` replace the old unbounded
+    ``response_times`` list.  ``response_total`` accumulates with the
+    same left-to-right float additions ``sum(list)`` performed, so
+    ``mean_response`` stays *bit-identical* to the list-based
+    implementation (the perf fingerprints pin ``repr`` of fig10 means).
+    The `repro.load` histogram adds percentiles at fixed size.
+    """
 
     completed: int = 0
     failed: int = 0
-    response_times: List[float] = field(default_factory=list)
+    observations: int = 0
+    response_total: float = 0.0
+    latency: LatencyDigest = field(default_factory=LatencyDigest)
+
+    def observe(self, seconds: float) -> None:
+        """Record one measured response time."""
+        self.observations += 1
+        self.response_total += seconds
+        self.latency.observe(seconds)
 
     def merge(self, other: "ClientStats") -> None:
         self.completed += other.completed
         self.failed += other.failed
-        self.response_times.extend(other.response_times)
+        self.observations += other.observations
+        self.response_total += other.response_total
+        self.latency.merge(other.latency)
 
     @property
     def mean_response(self) -> float:
-        if not self.response_times:
+        if not self.observations:
             return float("nan")
-        return sum(self.response_times) / len(self.response_times)
+        return self.response_total / self.observations
 
 
 def closed_loop_client(
@@ -90,7 +109,7 @@ def closed_loop_client(
                 yield from request()
                 if sim.now >= warmup:
                     stats.completed += 1
-                    stats.response_times.append(sim.now - start)
+                    stats.observe(sim.now - start)
             except (OfflineError, RpcTimeout):
                 if sim.now >= warmup:
                     stats.failed += 1

@@ -1,0 +1,264 @@
+"""Seeded arrival-process models for the open-loop workload plane.
+
+Every model pre-generates its whole arrival trace as a sorted numpy
+``float64`` array of timestamps on ``[0, horizon)``.  Generating up
+front (vectorised, in blocks) instead of drawing one inter-arrival gap
+per simulated event is what lets the workload plane hit millions of
+arrivals per wall-clock second: the per-arrival cost is a handful of
+numpy operations amortised over the whole trace, and the sorted array
+feeds straight into cohort injection (`repro.load.inject`) where the
+bucket-queue kernel drains same-timestamp cohorts in one dispatch.
+
+Seeding mirrors ``repro.simkernel.rng.RngRegistry``: each model draws
+from a named stream derived via ``SeedSequence(entropy=seed,
+spawn_key=(crc32(name),))``, so the same ``(seed, name)`` pair yields a
+bit-identical trace across runs, machines, and worker processes.
+
+Models
+------
+``PoissonProcess``
+    Homogeneous Poisson arrivals at a fixed rate.
+``NHPoissonProcess``
+    Non-homogeneous Poisson via Lewis/Shedler thinning against the
+    rate function's peak envelope.  Pair with ``DiurnalRate`` for
+    day/night cycles summed over regional time-zone offsets, or
+    ``StepRate`` for flash-crowd spikes.
+``MMPPProcess``
+    Markov-modulated Poisson: a two-state burst/calm chain with
+    exponential sojourns, piecewise-homogeneous arrivals per segment.
+``ParetoSessions``
+    Heavy-tailed sessions: an inner process drives session starts,
+    each session issues ``floor(1 + Pareto(alpha))`` requests with
+    exponential within-session gaps.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "arrival_stream",
+    "PoissonProcess",
+    "DiurnalRate",
+    "StepRate",
+    "NHPoissonProcess",
+    "MMPPProcess",
+    "ParetoSessions",
+]
+
+
+def arrival_stream(seed: int, name: str) -> np.random.Generator:
+    """A named generator, derived exactly like ``RngRegistry.stream``.
+
+    Kept as a free function (rather than requiring a registry instance)
+    so arrival generation can run outside any simulator — e.g. in the
+    wall-clock benchmark or a worker process — and still be
+    bit-identical to an in-simulator draw of the same ``(seed, name)``.
+    """
+    name_key = zlib.crc32(name.encode("utf-8"))
+    sequence = np.random.SeedSequence(entropy=int(seed), spawn_key=(name_key,))
+    return np.random.default_rng(sequence)
+
+
+def _homogeneous(rng: np.random.Generator, rate: float, horizon: float) -> np.ndarray:
+    """Sorted Poisson arrival times on ``[0, horizon)`` at ``rate``.
+
+    Draws exponential gaps in blocks sized to cover the horizon with
+    ~4 sigma of headroom, extending (rarely) if the draw fell short.
+    """
+    if rate <= 0.0 or horizon <= 0.0:
+        return np.empty(0, dtype=np.float64)
+    expected = rate * horizon
+    block = int(expected + 4.0 * math.sqrt(expected + 1.0)) + 16
+    chunks = []
+    last = 0.0
+    while last < horizon:
+        gaps = rng.exponential(1.0 / rate, block)
+        chunk = last + np.cumsum(gaps)
+        chunks.append(chunk)
+        last = float(chunk[-1])
+        block = max(block // 4, 1024)  # extension blocks can be small
+    times = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    return times[times < horizon]
+
+
+@dataclass(frozen=True)
+class PoissonProcess:
+    """Homogeneous Poisson arrivals at ``rate`` per simulated second."""
+
+    rate: float
+    name: str = "poisson"
+
+    def sample(self, horizon: float, seed: int) -> np.ndarray:
+        if self.rate < 0.0:
+            raise ValueError(f"rate must be non-negative, got {self.rate}")
+        rng = arrival_stream(seed, self.name)
+        return _homogeneous(rng, self.rate, float(horizon))
+
+
+@dataclass(frozen=True)
+class DiurnalRate:
+    """Sum of sinusoidal day/night cycles over regional time zones.
+
+    Each region contributes ``weight * base_rate * (1 + amplitude *
+    sin(2*pi*(t - offset)/period))``; offsets stagger the regional
+    peaks the way time zones stagger a global user population.  The
+    ``peak_rate`` envelope bounds every region at its own crest, so it
+    is a true upper bound for thinning even when the crests never
+    align.
+    """
+
+    base_rate: float
+    amplitude: float = 0.8
+    period: float = 86400.0
+    regions: Tuple[Tuple[float, float], ...] = ((0.0, 1.0),)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError(f"amplitude must be in [0, 1], got {self.amplitude}")
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        total = np.zeros_like(t)
+        omega = 2.0 * math.pi / self.period
+        for offset, weight in self.regions:
+            total += weight * self.base_rate * (1.0 + self.amplitude * np.sin(omega * (t - offset)))
+        return total
+
+    @property
+    def peak_rate(self) -> float:
+        weight_sum = sum(weight for _, weight in self.regions)
+        return self.base_rate * (1.0 + self.amplitude) * weight_sum
+
+
+@dataclass(frozen=True)
+class StepRate:
+    """A flat base rate with a rectangular spike on ``[start, end)``."""
+
+    base_rate: float
+    spike_rate: float
+    start: float
+    end: float
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return np.where((t >= self.start) & (t < self.end), self.spike_rate, self.base_rate)
+
+    @property
+    def peak_rate(self) -> float:
+        return max(self.base_rate, self.spike_rate)
+
+
+@dataclass(frozen=True)
+class NHPoissonProcess:
+    """Non-homogeneous Poisson arrivals by thinning.
+
+    ``rate`` is any callable mapping a time array to instantaneous
+    rates, exposing ``peak_rate`` as an upper envelope.  Candidates are
+    drawn homogeneously at the envelope rate and accepted where
+    ``u * peak_rate < rate(t)`` — the classic Lewis/Shedler scheme, so
+    the accepted trace can never exceed the envelope (every accepted
+    arrival is also a candidate).
+    """
+
+    rate: object  # callable(t) -> rates, with a .peak_rate attribute
+    name: str = "nhpp"
+
+    def sample(self, horizon: float, seed: int) -> np.ndarray:
+        accepted, _ = self.sample_with_candidates(horizon, seed)
+        return accepted
+
+    def sample_with_candidates(self, horizon: float, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(accepted, candidates)`` — the property tests check
+        the accepted trace is a subset of the envelope-rate candidates."""
+        peak = float(self.rate.peak_rate)
+        if peak <= 0.0:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty
+        rng = arrival_stream(seed, self.name)
+        candidates = _homogeneous(rng, peak, float(horizon))
+        uniforms = rng.random(candidates.size)
+        accepted = candidates[uniforms * peak < self.rate(candidates)]
+        return accepted, candidates
+
+
+@dataclass(frozen=True)
+class MMPPProcess:
+    """Two-state Markov-modulated Poisson process (calm/burst).
+
+    The modulating chain alternates between state 0 and state 1 with
+    exponential sojourn times; each segment emits homogeneous Poisson
+    arrivals at that state's rate.  Segments are generated in time
+    order, so the concatenated trace is sorted by construction.
+    """
+
+    rates: Tuple[float, float] = (50.0, 500.0)
+    sojourns: Tuple[float, float] = (20.0, 2.0)
+    start_state: int = 0
+    name: str = "mmpp"
+
+    def sample(self, horizon: float, seed: int) -> np.ndarray:
+        rng = arrival_stream(seed, self.name)
+        horizon = float(horizon)
+        chunks = []
+        t = 0.0
+        state = int(self.start_state) & 1
+        while t < horizon:
+            duration = float(rng.exponential(self.sojourns[state]))
+            end = min(t + duration, horizon)
+            if end > t and self.rates[state] > 0.0:
+                segment = _homogeneous(rng, self.rates[state], end - t)
+                if segment.size:
+                    chunks.append(segment + t)
+            t += duration
+            state ^= 1
+        if not chunks:
+            return np.empty(0, dtype=np.float64)
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+
+@dataclass(frozen=True)
+class ParetoSessions:
+    """Heavy-tailed user sessions over an inner session-start process.
+
+    Session sizes are ``floor(1 + Pareto(alpha))`` requests (capped at
+    ``max_requests``), so a small fraction of sessions contribute a
+    large fraction of traffic.  The first request of a session lands at
+    the session start; subsequent requests follow exponential gaps.
+    The combined trace is re-sorted because long sessions overlap later
+    session starts.
+    """
+
+    sessions: object  # inner arrival process providing .sample(horizon, seed)
+    alpha: float = 1.5
+    mean_gap: float = 0.5
+    max_requests: int = 10_000
+    name: str = "pareto-sessions"
+
+    def sample(self, horizon: float, seed: int) -> np.ndarray:
+        horizon = float(horizon)
+        starts = self.sessions.sample(horizon, seed)
+        if starts.size == 0:
+            return np.empty(0, dtype=np.float64)
+        rng = arrival_stream(seed, self.name + ":requests")
+        sizes = np.minimum(
+            np.floor(rng.pareto(self.alpha, starts.size) + 1.0),
+            float(self.max_requests),
+        ).astype(np.int64)
+        total = int(sizes.sum())
+        gaps = rng.exponential(self.mean_gap, total)
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        prefix = np.concatenate(([0.0], np.cumsum(gaps)))[:-1]
+        # Within-session offset = global gap prefix minus the prefix at
+        # the session's first request, so request 0 of every session
+        # coincides with the session start.
+        base = np.repeat(prefix[bounds[:-1]], sizes)
+        times = np.repeat(starts, sizes) + (prefix - base)
+        times = times[times < horizon]
+        times.sort(kind="stable")
+        return times

@@ -50,6 +50,9 @@ class Service:
         self.requests_handled = 0
         self.requests_failed = 0
         self.requests_shed = 0
+        #: shed tally per op name — lets overload experiments attribute
+        #: admission drops to op classes instead of one global count
+        self.shed_by_op: dict[str, int] = {}
         self.inflight = 0
         #: max concurrent dispatches before shedding (None = unbounded)
         self.admission_limit: int | None = None
@@ -93,6 +96,10 @@ class Service:
         health = self.network.health
         if self.admission_limit is not None and self.inflight >= self.admission_limit:
             self.requests_shed += 1
+            self.shed_by_op[method] = self.shed_by_op.get(method, 0) + 1
+            self.obs.metrics.counter(
+                "rpc.shed", service=self.name, node=self.node_name, op=method
+            ).inc()
             if health is not None:
                 health.record_dispatch(self.node_name, self.name, ok=False)
             raise Overloaded(

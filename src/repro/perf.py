@@ -32,6 +32,12 @@ proven not to change any simulated-time result:
   in-run CPU flatness ratio, placement digests and simulated routing
   message counts gate the sharded storage layer via
   ``BENCH_storage.json``;
+* :func:`bench_workload` / :func:`bench_workload_memory` /
+  :func:`workload_fingerprint` — the Fig. 18 open-loop workload plane:
+  arrival-engine throughput (generate + cohort-schedule, the 1M
+  arrivals per wall second gate), memory flatness of the full overload
+  path, and the arrival-trace / overload-outcome digests, gated via
+  ``BENCH_workload.json``;
 * :func:`kernel_trace_fingerprint` / :func:`experiment_fingerprint` —
   deterministic digests of the seeded event trace and of end-to-end
   simulated outputs (byte totals, throughputs).  Two runs of the same
@@ -50,6 +56,8 @@ import json
 import re
 import resource as _resource
 import time
+
+import numpy as np
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
@@ -96,6 +104,22 @@ class BenchResult:
 def peak_rss_kb() -> int:
     """Peak resident set size of this process, in kilobytes."""
     return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+def current_rss_kb() -> int:
+    """Current (not peak) resident set size, in kilobytes.
+
+    The memory-flatness gates need before/after deltas around a single
+    workload, which the process-lifetime high-water mark of
+    :func:`peak_rss_kb` cannot provide.  Falls back to the peak figure
+    on platforms without ``/proc``.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * (_resource.getpagesize() // 1024)
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        return peak_rss_kb()
 
 
 # -- kernel microbenchmark -------------------------------------------------
@@ -986,6 +1010,259 @@ def compare_storage_baseline(
         if key in base_fp and fp.get(key) != base_fp.get(key):
             failures.append(
                 f"storage fingerprint drift: {key} changed"
+            )
+    return failures
+
+
+# -- open-loop workload-plane benchmark (Fig. 18 machinery) -----------------
+
+
+def bench_workload(target_arrivals: int = 1_500_000, seed: int = 17) -> BenchResult:
+    """Arrival-engine throughput: generate + schedule a diurnal trace.
+
+    Generates a non-homogeneous (two-region diurnal) arrival trace
+    sized to ``target_arrivals`` and injects it into a bare simulator
+    as same-timestamp cohorts, running the agenda to exhaustion.  The
+    headline rate counts *both* phases — an arrival only counts once
+    its cohort event has actually dispatched — so the figure is the
+    end-to-end cost of putting one open-loop user on the wire.  The
+    1M-arrivals-per-wall-second gate in ``BENCH_workload.json`` rides
+    this number.
+    """
+    from repro.load.arrivals import DiurnalRate, NHPoissonProcess
+    from repro.load.inject import CohortInjector
+
+    horizon = 50.0
+    # two staggered regions, weights summing to 1 => mean rate == base
+    rate = DiurnalRate(target_arrivals / horizon, amplitude=0.8,
+                       period=horizon, regions=((0.0, 0.6), (0.3 * horizon, 0.4)))
+    model = NHPoissonProcess(rate, name="bench-diurnal")
+
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    times = model.sample(horizon, seed)
+    generated = time.perf_counter()
+
+    sim = Simulator(seed=seed)
+    injector = CohortInjector(sim, times, lambda t, i: None, tick=0.005)
+    injector.start()
+    sim.run()
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - start
+    if injector.fired != times.size:  # pragma: no cover - harness invariant
+        raise RuntimeError(
+            f"cohort injection dropped arrivals: fired {injector.fired} "
+            f"of {times.size}"
+        )
+    return BenchResult(
+        name="workload",
+        metric="arrivals_per_wall_sec",
+        value=times.size / wall,
+        wall_seconds=wall,
+        work_units=int(times.size),
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
+        details={
+            "target_arrivals": target_arrivals,
+            "arrivals": int(times.size),
+            "cohorts": injector.cohorts,
+            "generate_seconds": generated - start,
+            "schedule_seconds": wall - (generated - start),
+            "final_time": sim.now,
+        },
+    )
+
+
+def bench_workload_memory(
+    target_arrivals: int = 1_000_000, anchor_arrivals: int = 50_000
+) -> BenchResult:
+    """Memory flatness of the full open-loop fig18 path.
+
+    Runs the fixed-rate overload scenario at an anchor size and at
+    ``target_arrivals`` (a 20x step in the full suite), reading RSS
+    before and after each.  A small throwaway run first pages in the
+    code and numpy buffers so the anchor delta is not polluted by
+    one-time warm-up.  Streaming stats bound the per-run state to the
+    fixed histogram grid plus one window row per elapsed window, so the
+    target run's RSS growth must stay O(1) in the arrival count — the
+    ``BENCH_workload.json`` gate caps it absolutely, which works at
+    both quick and full sizes precisely because flat means
+    size-independent.
+    """
+    from repro.experiments.fig18 import run_fig18_memory
+
+    run_fig18_memory(max(anchor_arrivals // 5, 2_000))  # warm-up, unmeasured
+
+    rss0 = current_rss_kb()
+    anchor = run_fig18_memory(anchor_arrivals)
+    anchor_growth = current_rss_kb() - rss0
+
+    rss1 = current_rss_kb()
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    out = run_fig18_memory(target_arrivals)
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - start
+    target_growth = current_rss_kb() - rss1
+
+    arrivals = int(out["arrivals"])
+    return BenchResult(
+        name="workload_memory",
+        metric="sim_arrivals_per_wall_sec",
+        value=arrivals / wall,
+        wall_seconds=wall,
+        work_units=arrivals,
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
+        details={
+            "target_arrivals": target_arrivals,
+            "anchor_arrivals": int(anchor["arrivals"]),
+            "anchor_rss_growth_kb": int(anchor_growth),
+            "target_rss_growth_kb": int(target_growth),
+            "rss_bytes_per_arrival": 1024.0 * max(target_growth, 0) / arrivals,
+            "stats_footprint_bytes": int(out["stats_footprint_bytes"]),
+            "completed": int(out["completed"]),
+            "shed": int(out["shed"]),
+            "digest": out["digest"],
+        },
+    )
+
+
+def workload_fingerprint(seed: int = 41) -> Dict[str, Any]:
+    """Deterministic digest of the workload plane's behaviour.
+
+    Arrival-trace digests (sha256 over the raw float64 timestamps) pin
+    every generator model bit-for-bit; the cohort count pins the
+    quantisation grid; one small overload point pins the whole
+    open-loop path (mix assignment, admission shedding, streaming-stats
+    merge).  All figures are simulated or pure draws from named
+    streams, so the same sizes run in quick and full mode and the
+    committed ``BENCH_workload.json`` pins them across refactors.
+    """
+    from repro.experiments.fig18 import run_fig18_point
+    from repro.load.arrivals import (
+        DiurnalRate,
+        MMPPProcess,
+        NHPoissonProcess,
+        ParetoSessions,
+        PoissonProcess,
+        StepRate,
+    )
+    from repro.load.inject import quantize_ticks
+
+    horizon = 40.0
+    traces = {
+        "poisson": PoissonProcess(500.0).sample(horizon, seed),
+        "diurnal": NHPoissonProcess(
+            DiurnalRate(400.0, period=horizon, regions=((0.0, 0.6), (12.0, 0.4)))
+        ).sample(horizon, seed),
+        "flash": NHPoissonProcess(
+            StepRate(200.0, 2_000.0, 15.0, 20.0), name="nhpp-step"
+        ).sample(horizon, seed),
+        "mmpp": MMPPProcess().sample(horizon, seed),
+        "sessions": ParetoSessions(PoissonProcess(30.0, name="session-starts"))
+        .sample(horizon, seed),
+    }
+    models = {
+        name: {
+            "arrivals": int(times.size),
+            "sha256": hashlib.sha256(times.tobytes()).hexdigest(),
+        }
+        for name, times in traces.items()
+    }
+    ticks = quantize_ticks(traces["poisson"], 0.005)
+    point = run_fig18_point(
+        multiple=2.0, capacity=600.0, seed=seed, n_sites=5, n_types=4,
+        horizon=10.0, warmup=2.0,
+    )
+    return {
+        "seed": seed,
+        "models": models,
+        "poisson_cohorts": int(np.unique(ticks).size),
+        "point_completed": point.completed,
+        "point_shed": point.shed,
+        "point_timeouts": point.timeouts,
+        "point_goodput": repr(point.goodput),
+        "point_shed_by_op": point.server_shed_by_op,
+        "point_result_digest": point.result_digest,
+    }
+
+
+def workload_suite(quick: bool = False) -> Dict[str, Any]:
+    """The ``BENCH_workload.json`` payload (benches + fingerprint).
+
+    The fingerprint uses the same cheap sizes in both modes; only the
+    throughput/memory benches scale down under ``quick`` (the 1M/s
+    arrival-rate gate and the absolute RSS-growth cap both hold at
+    either size).
+    """
+    if quick:
+        engine = bench_workload(target_arrivals=200_000)
+        memory = bench_workload_memory(target_arrivals=48_000,
+                                       anchor_arrivals=12_000)
+    else:
+        engine = bench_workload()
+        memory = bench_workload_memory()
+    return {
+        "suite": "bench_workload",
+        "mode": "quick" if quick else "full",
+        "results": {r.name: r.to_dict() for r in (engine, memory)},
+        "fingerprint": workload_fingerprint(),
+    }
+
+
+def compare_workload_baseline(
+    suite: Dict[str, Any],
+    baseline: Dict[str, Any],
+    min_arrival_rate: float = 1_000_000.0,
+    max_rss_growth_kb: int = 131_072,
+    max_stats_footprint_bytes: int = 1_000_000,
+) -> List[str]:
+    """Gate the open-loop workload plane against a committed baseline.
+
+    The arrival engine must sustain ``min_arrival_rate`` generated +
+    scheduled arrivals per wall second (an absolute floor, not a
+    baseline ratio — the ISSUE's 10^6 target).  The full fig18 path
+    must stay memory-flat: RSS growth of the measured run under an
+    absolute cap (flat means size-independent, so one cap serves quick
+    and full sizes) and the streaming-stats footprint bounded by its
+    fixed histogram grid.  Every fingerprint figure is deterministic —
+    any drift of an arrival-trace digest or the overload point's
+    outcome digest fails.
+    """
+    failures: List[str] = []
+    engine = suite["results"].get("workload", {})
+    if engine:
+        rate = engine.get("value", 0.0)
+        if rate < min_arrival_rate:
+            failures.append(
+                f"workload: arrival engine sustained {rate:,.0f} arrivals/s, "
+                f"below the required {min_arrival_rate:,.0f}/s"
+            )
+    memory = suite["results"].get("workload_memory", {}).get("details", {})
+    if memory:
+        growth = memory.get("target_rss_growth_kb", 0)
+        if growth > max_rss_growth_kb:
+            failures.append(
+                f"workload: RSS grew {growth:,d} kB across the "
+                f"{memory.get('target_arrivals'):,d}-arrival run "
+                f"(cap {max_rss_growth_kb:,d} kB) — the open-loop path is "
+                "no longer memory-flat"
+            )
+        footprint = memory.get("stats_footprint_bytes", 0)
+        if footprint > max_stats_footprint_bytes:
+            failures.append(
+                f"workload: streaming-stats footprint {footprint:,d} B "
+                f"exceeds the fixed-size cap {max_stats_footprint_bytes:,d} B"
+            )
+    fp, base_fp = suite.get("fingerprint", {}), baseline.get("fingerprint", {})
+    for key in ("models", "poisson_cohorts", "point_completed", "point_shed",
+                "point_timeouts", "point_goodput", "point_shed_by_op",
+                "point_result_digest"):
+        if key in base_fp and fp.get(key) != base_fp.get(key):
+            failures.append(
+                f"workload fingerprint drift: {key} changed "
+                f"({fp.get(key)!r} vs {base_fp.get(key)!r})"
             )
     return failures
 

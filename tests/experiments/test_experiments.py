@@ -62,11 +62,34 @@ class TestWorkload:
         assert at.is_concrete
 
     def test_client_stats_merge(self):
-        a = ClientStats(completed=2, failed=1, response_times=[0.1, 0.2])
-        b = ClientStats(completed=3, response_times=[0.3])
+        a = ClientStats(completed=2, failed=1)
+        for value in (0.1, 0.2):
+            a.observe(value)
+        b = ClientStats(completed=3)
+        b.observe(0.3)
         a.merge(b)
         assert a.completed == 5
+        assert a.observations == 3
         assert a.mean_response == pytest.approx(0.2)
+        assert a.latency.count == 3
+
+    def test_client_stats_mean_bit_identical_to_list_sum(self):
+        # The perf fingerprints pin repr() of fig10 means, so the
+        # streaming total must reproduce sum(list)/len exactly.
+        values = [0.0123456789 * (i % 17 + 1) / 9.7 for i in range(500)]
+        stats = ClientStats()
+        for value in values:
+            stats.observe(value)
+        assert stats.mean_response == sum(values) / len(values)
+
+    def test_client_stats_no_unbounded_list(self):
+        stats = ClientStats()
+        for i in range(10_000):
+            stats.observe(0.001 * (i % 50 + 1))
+        # fixed-size histogram state only: no attribute grows with N
+        assert not hasattr(stats, "response_times")
+        assert len(stats.latency.counts) == 35
+        assert stats.latency.p99 >= stats.latency.p50 > 0
 
 
 class TestTable1Driver:

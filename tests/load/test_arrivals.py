@@ -1,0 +1,132 @@
+"""Contract tests for the seeded arrival-process models."""
+
+import numpy as np
+import pytest
+
+from repro.load.arrivals import (
+    DiurnalRate,
+    MMPPProcess,
+    NHPoissonProcess,
+    ParetoSessions,
+    PoissonProcess,
+    StepRate,
+    arrival_stream,
+)
+
+HORIZON = 60.0
+SEED = 7
+
+
+def _all_models():
+    return [
+        PoissonProcess(200.0),
+        NHPoissonProcess(DiurnalRate(150.0, period=HORIZON,
+                                     regions=((0.0, 0.6), (20.0, 0.4)))),
+        NHPoissonProcess(StepRate(100.0, 800.0, 20.0, 30.0), name="nhpp-step"),
+        MMPPProcess(rates=(40.0, 400.0), sojourns=(10.0, 2.0)),
+        ParetoSessions(PoissonProcess(20.0, name="session-starts")),
+    ]
+
+
+class TestArrivalStream:
+    def test_matches_rng_registry_derivation(self):
+        # same derivation as RngRegistry.stream: identical (seed, name)
+        # pairs must yield identical draws even without a simulator
+        from repro.simkernel.rng import RngRegistry
+
+        direct = arrival_stream(123, "workload").random(8)
+        registry = RngRegistry(123).stream("workload").random(8)
+        assert np.array_equal(direct, registry)
+
+    def test_distinct_names_decorrelate(self):
+        a = arrival_stream(123, "alpha").random(8)
+        b = arrival_stream(123, "beta").random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestModelContracts:
+    @pytest.mark.parametrize("model", _all_models(),
+                             ids=lambda m: type(m).__name__)
+    def test_same_seed_identical_trace(self, model):
+        first = model.sample(HORIZON, SEED)
+        second = model.sample(HORIZON, SEED)
+        assert np.array_equal(first, second)
+
+    @pytest.mark.parametrize("model", _all_models(),
+                             ids=lambda m: type(m).__name__)
+    def test_different_seed_different_trace(self, model):
+        assert not np.array_equal(model.sample(HORIZON, SEED),
+                                  model.sample(HORIZON, SEED + 1))
+
+    @pytest.mark.parametrize("model", _all_models(),
+                             ids=lambda m: type(m).__name__)
+    def test_sorted_float64_within_horizon(self, model):
+        times = model.sample(HORIZON, SEED)
+        assert times.dtype == np.float64
+        assert times.size > 0
+        assert np.all(np.diff(times) >= 0.0)
+        assert times[0] >= 0.0
+        assert times[-1] < HORIZON
+
+    def test_poisson_rate_sanity(self):
+        times = PoissonProcess(500.0).sample(100.0, SEED)
+        # 50,000 expected, sigma ~224: a 5-sigma band never flakes
+        assert abs(times.size - 50_000) < 5 * np.sqrt(50_000)
+
+    def test_poisson_zero_rate_is_empty(self):
+        assert PoissonProcess(0.0).sample(HORIZON, SEED).size == 0
+
+    def test_poisson_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(-1.0).sample(HORIZON, SEED)
+
+
+class TestDiurnalRate:
+    def test_peak_rate_bounds_rate_function(self):
+        rate = DiurnalRate(100.0, amplitude=0.8, period=40.0,
+                           regions=((0.0, 0.5), (13.0, 0.3), (27.0, 0.2)))
+        t = np.linspace(0.0, 120.0, 10_001)
+        assert np.all(rate(t) <= rate.peak_rate + 1e-9)
+
+    def test_regions_stagger_the_peaks(self):
+        early = DiurnalRate(100.0, period=40.0, regions=((0.0, 1.0),))
+        late = DiurnalRate(100.0, period=40.0, regions=((10.0, 1.0),))
+        t = np.linspace(0.0, 40.0, 401)
+        assert abs(t[np.argmax(early(t))] - t[np.argmax(late(t))]) > 5.0
+
+    def test_rejects_amplitude_above_one(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(100.0, amplitude=1.5)
+
+
+class TestStepRate:
+    def test_spike_window_half_open(self):
+        rate = StepRate(10.0, 100.0, 5.0, 8.0)
+        values = rate(np.array([4.999, 5.0, 7.999, 8.0]))
+        assert list(values) == [10.0, 100.0, 100.0, 10.0]
+        assert rate.peak_rate == 100.0
+
+
+class TestMMPP:
+    def test_burst_state_dominates_arrivals(self):
+        # equal time share per state on average, 10x the rate in bursts
+        times = MMPPProcess(rates=(20.0, 200.0), sojourns=(5.0, 5.0),
+                            name="mmpp-burst").sample(200.0, SEED)
+        mean_rate = times.size / 200.0
+        assert mean_rate > 60.0  # far above the calm rate alone
+
+
+class TestParetoSessions:
+    def test_first_request_lands_on_session_start(self):
+        inner = PoissonProcess(5.0, name="session-starts")
+        model = ParetoSessions(inner, mean_gap=2.0)
+        starts = inner.sample(HORIZON, SEED)
+        times = model.sample(HORIZON, SEED)
+        # every session start (within horizon) appears in the trace
+        assert np.all(np.isin(starts[starts < HORIZON], times))
+
+    def test_sessions_inflate_volume(self):
+        inner = PoissonProcess(5.0, name="session-starts")
+        starts = inner.sample(HORIZON, SEED)
+        times = ParetoSessions(inner).sample(HORIZON, SEED)
+        assert times.size > starts.size

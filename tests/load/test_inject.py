@@ -1,0 +1,134 @@
+"""Cohort injection: quantisation, chaining, and the O(1) standing state."""
+
+import numpy as np
+import pytest
+
+from repro.load.arrivals import PoissonProcess
+from repro.load.inject import CohortInjector, NaiveInjector, quantize_ticks
+from repro.simkernel import Simulator
+
+
+class TestQuantizeTicks:
+    def test_never_early(self):
+        times = PoissonProcess(300.0).sample(20.0, 3)
+        ticks = quantize_ticks(times, 0.005)
+        assert np.all(ticks * 0.005 >= times)
+
+    def test_delay_bounded_by_one_tick(self):
+        times = PoissonProcess(300.0).sample(20.0, 3)
+        ticks = quantize_ticks(times, 0.005)
+        assert np.all(ticks * 0.005 - times < 0.005 + 1e-12)
+
+    def test_exact_grid_points_stay_put(self):
+        assert list(quantize_ticks(np.array([0.0, 0.25, 1.0]), 0.25)) == [0, 1, 4]
+
+    def test_rejects_nonpositive_tick(self):
+        with pytest.raises(ValueError):
+            quantize_ticks(np.array([1.0]), 0.0)
+
+
+class TestCohortInjector:
+    def test_fires_every_arrival_once_in_order(self):
+        times = PoissonProcess(500.0).sample(10.0, 11)
+        sim = Simulator(seed=11)
+        fired = []
+        injector = CohortInjector(sim, times, lambda t, i: fired.append((t, i)),
+                                  tick=0.01)
+        injector.start()
+        sim.run()
+        assert len(fired) == times.size == injector.fired
+        assert [i for _, i in fired] == list(range(times.size))
+        assert all(b[0] >= a[0] for a, b in zip(fired, fired[1:]))
+
+    def test_clock_matches_cohort_time(self):
+        times = np.array([0.1, 0.1001, 0.5, 2.0])
+        sim = Simulator(seed=1)
+        seen = []
+        injector = CohortInjector(sim, times, lambda t, i: seen.append((t, sim.now)),
+                                  tick=0.25)
+        injector.start()
+        sim.run()
+        assert [t for t, _ in seen] == [0.25, 0.25, 0.5, 2.0]
+        assert all(now == pytest.approx(t, abs=1e-12) for t, now in seen)
+
+    def test_one_pending_timeout_at_a_time(self):
+        # the whole point of chaining: standing kernel state is O(1),
+        # not O(N) — scheduling 10^4 arrivals must not allocate 10^4
+        # timeouts up front
+        times = PoissonProcess(2_000.0).sample(5.0, 5)
+        assert times.size > 5_000
+        sim = Simulator(seed=5)
+        injector = CohortInjector(sim, times, lambda t, i: None, tick=0.001)
+        injector.start()
+        assert len(sim._buckets) <= 1  # one pending cohort timeout
+
+        naive_sim = Simulator(seed=5)
+        NaiveInjector(naive_sim, times, lambda t, i: None, tick=0.001).start()
+        assert len(naive_sim._buckets) > 1_000  # the O(N) shape it replaces
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError):
+            CohortInjector(Simulator(seed=1), np.array([2.0, 1.0]),
+                           lambda t, i: None)
+
+    def test_empty_trace_is_a_noop(self):
+        sim = Simulator(seed=1)
+        injector = CohortInjector(sim, np.empty(0), lambda t, i: None)
+        injector.start()
+        sim.run()
+        assert injector.fired == 0 and injector.cohorts == 0
+
+    def test_past_times_fire_immediately(self):
+        # content setup advances the clock before injection starts;
+        # already-due cohorts must fire at the current instant, never
+        # travel backwards
+        sim = Simulator(seed=1)
+
+        def setup():
+            yield sim.timeout(3.0)
+
+        sim.process(setup())
+        sim.run()
+        fired = []
+        injector = CohortInjector(sim, np.array([1.0, 2.0, 5.0]),
+                                  lambda t, i: fired.append(sim.now), tick=0.5)
+        injector.start()
+        sim.run()
+        assert fired == [3.0, 3.0, 5.0]
+
+
+class TestNaiveEquivalence:
+    def test_same_fire_sequence(self):
+        times = PoissonProcess(400.0).sample(8.0, 13)
+        runs = []
+        for cls in (CohortInjector, NaiveInjector):
+            sim = Simulator(seed=13)
+            fired = []
+            injector = cls(sim, times, lambda t, i: fired.append((t, i)),
+                           tick=0.0078125)  # dyadic: exact float grid
+            injector.start()
+            sim.run()
+            assert injector.fired == times.size
+            runs.append(fired)
+        assert runs[0] == runs[1]
+
+    def test_downstream_process_trace_identical(self):
+        times = PoissonProcess(200.0).sample(6.0, 17)
+
+        def run(cls):
+            sim = Simulator(seed=17)
+            log = []
+
+            def fire(t, i):
+                def worker():
+                    yield sim.timeout(0.125)
+                    log.append((round(sim.now, 9), i))
+
+                sim.process(worker())
+
+            injector = cls(sim, times, fire, tick=0.015625)
+            injector.start()
+            sim.run()
+            return log
+
+        assert run(CohortInjector) == run(NaiveInjector)

@@ -280,6 +280,24 @@ class TestAdmissionControl:
         assert svc.requests_handled == 2
         assert svc.inflight == 0
 
+    def test_shed_tally_is_labelled_per_op(self):
+        sim, net = make_net()
+        svc = SlowService(net, "B", delay=2.0)
+        svc.admission_limit = 1
+
+        def client():
+            try:
+                yield from net.call("A", "B", "slow", "work")
+            except Overloaded:
+                pass
+
+        for i in range(5):
+            sim.process(client())
+        sim.run()
+        assert svc.requests_shed == 4
+        assert svc.shed_by_op == {"work": 4}
+        assert sum(svc.shed_by_op.values()) == svc.requests_shed
+
     def test_shed_request_is_retryable(self):
         assert Overloaded("x").transient
         assert RetryPolicy(attempts=2).retryable(Overloaded("x"))
