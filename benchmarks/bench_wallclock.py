@@ -30,6 +30,8 @@ Usage::
         --check-storage BENCH_storage.json
     python benchmarks/bench_wallclock.py --workload \
         --check-workload BENCH_workload.json
+    python benchmarks/bench_wallclock.py --orchestration \
+        --check-orchestration BENCH_orchestration.json
     python benchmarks/bench_wallclock.py --quick --jobs 4 --check-all
 
 ``--check-all`` runs every suite and gates each against its committed
@@ -87,6 +89,14 @@ arrivals per wall second, the full overload path must stay memory-flat
 (RSS growth of the measured run under an absolute cap, streaming-stats
 footprint bounded by its fixed histogram grid), and the arrival-trace
 / overload-outcome fingerprints must match exactly.
+
+``--orchestration`` runs the Fig. 19 desired-state control loop
+instead and emits/gates ``BENCH_orchestration.json``: the reconciler
+must sustain its baseline reconcile-rounds-per-wall-second within
+``--max-regression``, the fleet must still drain back to min replicas
+and clear ``--min-hot-gain`` (default 1.2x) recovered goodput over the
+static series, and the planner-decision / series digests and the
+replica trajectory must match exactly.
 
 Wall-clock rates vary across machines; the committed baseline is only
 a tripwire for large same-machine-family regressions, which is why the
@@ -286,6 +296,28 @@ def _print_workload_summary(suite) -> None:
     )
 
 
+def _print_orchestration_summary(suite) -> None:
+    result = suite["results"]["orchestration"]
+    details = result["details"]
+    fp = suite["fingerprint"]
+    print(f"bench_orchestration ({suite['mode']}, {details['rounds']} rounds, "
+          f"{details['installs']} installs, {details['drains']} drains)")
+    print(
+        f"  orchestration {result['value']:>10,.1f} {result['metric']:<28s}"
+        f" ({result['wall_seconds']:.3f}s wall)"
+    )
+    print(
+        f"  replicas  peak {details['max_replicas_seen']}"
+        f"  final {details['final_replicas']}"
+        f"  convergence {', '.join(f'{t:.1f}s' for t in details['convergence_times'])}"
+    )
+    print(
+        f"  goodput  orchestrated {float(fp['recovered_goodput']):.1f}/s"
+        f"  static {float(fp['static_recovered_goodput']):.1f}/s"
+        f"  digest {fp['orchestrated_digest'][:16]}…"
+    )
+
+
 #: repo-root baseline file per suite, in --check-all run order
 _BASELINES = {
     "kernel": "BENCH_kernel.json",
@@ -295,6 +327,7 @@ _BASELINES = {
     "obs": "BENCH_obs.json",
     "storage": "BENCH_storage.json",
     "workload": "BENCH_workload.json",
+    "orchestration": "BENCH_orchestration.json",
 }
 
 
@@ -333,6 +366,8 @@ def _check_all(args) -> int:
                  {"quick": args.quick}),
         WorkUnit("workload", "repro.perf:workload_suite",
                  {"quick": args.quick}),
+        WorkUnit("orchestration", "repro.perf:orchestration_suite",
+                 {"quick": args.quick}),
     ]
     started = _time.perf_counter()
     suites = dict(zip(_BASELINES, run_units(units, jobs=args.jobs)))
@@ -346,6 +381,7 @@ def _check_all(args) -> int:
         "obs": _print_obs_summary,
         "storage": _print_storage_summary,
         "workload": _print_workload_summary,
+        "orchestration": _print_orchestration_summary,
     }
     compare = {
         "kernel": lambda suite, baseline: (
@@ -367,6 +403,10 @@ def _check_all(args) -> int:
             max_flatness=args.max_flatness),
         "workload": lambda suite, baseline: perf.compare_workload_baseline(
             suite, baseline, min_arrival_rate=args.min_arrival_rate),
+        "orchestration": lambda suite, baseline:
+            perf.compare_orchestration_baseline(
+                suite, baseline, max_regression=args.max_regression,
+                min_hot_gain=args.min_hot_gain),
     }
 
     failures = []
@@ -457,6 +497,15 @@ def main(argv=None) -> int:
     parser.add_argument("--min-arrival-rate", type=float, default=1_000_000.0,
                         help="required generated+scheduled arrivals per wall "
                              "second (default 1e6)")
+    parser.add_argument("--orchestration", action="store_true",
+                        help="run the Fig. 19 desired-state control loop instead")
+    parser.add_argument("--check-orchestration", metavar="PATH",
+                        help="fail on control-loop slowdown / behaviour or "
+                             "digest drift vs this file")
+    parser.add_argument("--min-hot-gain", type=float, default=1.2,
+                        help="required recovered-goodput gain of the "
+                             "orchestrated series over the static one "
+                             "(default 1.2)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="fan (benchmark, repeat) batches of the kernel "
                              "suite across N worker processes (default 1)")
@@ -464,12 +513,34 @@ def main(argv=None) -> int:
                         help="run every suite and gate each against its "
                              "committed BENCH_*.json in one invocation "
                              "(kernel + resolution + provisioning + faults "
-                             "+ obs + storage + workload), with a timing "
-                             "summary")
+                             "+ obs + storage + workload + orchestration), "
+                             "with a timing summary")
     args = parser.parse_args(argv)
 
     if args.check_all:
         return _check_all(args)
+
+    if args.orchestration or args.check_orchestration:
+        suite = perf.orchestration_suite(quick=args.quick)
+        _print_orchestration_summary(suite)
+        if args.output:
+            perf.dump_suite(suite, args.output)
+            print(f"wrote {args.output}")
+        if args.check_orchestration:
+            with open(args.check_orchestration) as handle:
+                baseline = json.load(handle)
+            failures = perf.compare_orchestration_baseline(
+                suite, baseline, max_regression=args.max_regression,
+                min_hot_gain=args.min_hot_gain,
+            )
+            if failures:
+                print("FAIL:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print("orchestration baseline check passed "
+                  f"({args.check_orchestration})")
+        return 0
 
     if args.workload or args.check_workload:
         suite = perf.workload_suite(quick=args.quick)

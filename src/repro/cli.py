@@ -12,6 +12,7 @@ Usage::
     python -m repro fig16 [--quick] [--report-out FILE]
     python -m repro fig17 [--quick]
     python -m repro fig18 [--quick]
+    python -m repro fig19 [--quick]
     python -m repro all [--quick]
     python -m repro trace [deploy|lookup|election|churn] [--chrome-out FILE]
                           [--jsonl-out FILE]
@@ -19,7 +20,7 @@ Usage::
     python -m repro health  [SCENARIO] [--format text|json|csv]
     python -m repro slo     [SCENARIO]
     python -m repro analyze [SCENARIO] [--top N]
-    python -m repro report  [SCENARIO]
+    python -m repro report  [SCENARIO|experiments]
 
 Each experiment command rebuilds the corresponding table/figure of the
 paper on the simulated Grid and prints the rows/series.  ``--quick``
@@ -37,7 +38,9 @@ timeline, ``analyze`` prints trace critical paths / self-time
 breakdowns / slowest-trace waterfalls, and ``report`` prints the
 unified run report (all of the above for one scenario).  Scenario
 defaults: ``churn`` for health/slo (it is the only one with faults),
-``deploy`` otherwise.
+``deploy`` otherwise.  ``report experiments`` instead renders the
+aggregate *experiment* report: every shipped table/figure section in
+one document (honours ``--quick`` and ``--jobs``).
 """
 
 from __future__ import annotations
@@ -158,6 +161,14 @@ def _run_fig18(quick: bool, jobs: int = 1) -> str:
     return format_fig18(run_fig18(quick=quick, jobs=jobs))
 
 
+def _run_fig19(quick: bool, jobs: int = 1) -> str:
+    from repro.experiments.fig19 import format_fig19, run_fig19
+
+    # desired-state orchestration under a 100x flash crowd: the
+    # orchestrated / static / repeat series fan out across workers
+    return format_fig19(run_fig19(quick=quick, jobs=jobs))
+
+
 COMMANDS = {
     "table1": _run_table1,
     "fig10": _run_fig10,
@@ -169,6 +180,7 @@ COMMANDS = {
     "fig16": _run_fig16,
     "fig17": _run_fig17,
     "fig18": _run_fig18,
+    "fig19": _run_fig19,
 }
 
 
@@ -290,7 +302,12 @@ def _run_analyze(scenario: str, top: int = 3) -> str:
     return format_trace_analytics(vo.obs.tracer.traces(), top=top)
 
 
-def _run_report(scenario: str, top: int = 3) -> str:
+def _run_report(scenario: str, top: int = 3, quick: bool = False,
+                jobs: int = 1) -> str:
+    if scenario == "experiments":
+        from repro.experiments.report import render_experiment_report
+
+        return render_experiment_report(quick=quick, jobs=jobs)
     from repro.obs.export import render_run_report
     from repro.obs.scenarios import run_scenario
 
@@ -311,9 +328,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "report) over a canned scenario",
     )
     parser.add_argument(
-        "scenario", nargs="?", default=None, choices=SCENARIO_NAMES,
+        "scenario", nargs="?", default=None,
+        choices=SCENARIO_NAMES + ("experiments",),
         help="scenario for the observability subcommands (default: "
-             "churn for health/slo/report, deploy otherwise)",
+             "churn for health/slo/report, deploy otherwise); 'report "
+             "experiments' renders the aggregate experiment report",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -345,7 +364,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="fan independent work across N worker processes: whole "
              "experiments for 'all', sweep points for fig14/fig15/fig16/"
-             "fig17/fig18 (results are byte-identical to a serial run)",
+             "fig17/fig18/fig19 (results are byte-identical to a serial "
+             "run)",
     )
     parser.add_argument(
         "--scale", action="store_true",
@@ -372,7 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.experiment == "analyze":
             print(_run_analyze(scenario, top=args.top))
         else:
-            print(_run_report(scenario, top=args.top))
+            print(_run_report(scenario, top=args.top, quick=args.quick,
+                              jobs=args.jobs))
         return 0
 
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]

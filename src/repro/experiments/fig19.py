@@ -1,0 +1,547 @@
+"""Fig. 19 (extension): desired-state orchestration under a flash crowd.
+
+Fig. 18 showed the registry stack *degrading gracefully* when offered
+load crosses capacity — admission control sheds the excess and goodput
+plateaus at whatever one replica can do.  This experiment closes the
+loop: the same 100x flash crowd hits one activity type, but a
+:class:`~repro.orchestrate.reconciler.Reconciler` now drives the VO
+toward a declared :class:`~repro.orchestrate.spec.DeploymentSpec`, so
+the hot type *scales out* (rollout installs on the least-loaded
+eligible sites) until goodput recovers, and *drains back* to
+``min_replicas`` after the crowd subsides — scale-in is actuated by
+shortening WSRF resource lifetimes and letting each site's
+LifetimeManager garbage-collect the drained replica.
+
+Two series run the identical seeded workload:
+
+* **orchestrated** — ``build_vo(orchestration=...)`` with one spec for
+  the hot type (min 1 / max N replicas, target utilization 0.6, the
+  community site excluded via ``avoid_sites``);
+* **static** — the exact same VO with orchestration off: one replica
+  forever, the fig18 baseline behaviour.
+
+Phases: *before* (base load) → *surge* (spike up, reconciler adapting)
+→ *recovered* (spike still up, fleet scaled) → *after* (spike down,
+drain back).  Acceptance, asserted by :func:`run_fig19`:
+
+1. the orchestrated run scales out (observed replicas > 1) and drains
+   back to ``min_replicas`` by the end of the run;
+2. recovered-phase goodput meets or beats the pre-spike plateau;
+3. the orchestrated recovered-phase hot-type goodput beats the static
+   series by a clear margin (the scale-out actually bought capacity);
+4. convergence times (divergence observed → plan converged) are
+   recorded and the double-run digest is bit-identical.
+
+Determinism: arrivals, placement, installs and drains are all
+in-simulation and seeded; every phase's streaming stats, the replica
+trajectory and the reconciler's own round digest fold into one result
+digest, so a repeat run must agree bit-for-bit and ``--jobs`` fan-out
+merges to the same fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.apps.catalog import _deployfile, _steps, _type_xml
+from repro.experiments.report import format_table
+from repro.glare.model import ActivityDeployment, DeploymentKind, DeploymentStatus
+from repro.load import (
+    CohortInjector,
+    NHPoissonProcess,
+    OpenLoopDriver,
+    PoissonProcess,
+    StepRate,
+    StreamStats,
+)
+from repro.orchestrate import DeploymentSpec, OrchestrationConfig
+from repro.vo import VOConfig, build_vo
+
+#: the managed (spiking) activity type
+HOT_TYPE = "Fig19Hot"
+
+#: CPU seconds one hot instantiation burns on its replica site
+HOT_DEMAND = 0.2
+
+#: CPU seconds one background instantiation burns on the primary site
+BG_DEMAND = 0.1
+
+#: steady background arrival rate against the primary site (req/s);
+#: with 4 cores this keeps the primary ~0.3 utilized — inside the
+#: planner's steady band, so no spurious scaling before the spike
+BG_RATE = 12.0
+
+#: hot-type base arrival rate; the flash crowd is 100x this
+HOT_BASE_RATE = 4.0
+SPIKE_FACTOR = 100.0
+
+#: arrival quantisation grid (cohort width)
+TICK = 0.005
+
+#: goodput window for the streaming per-window counters
+WINDOW = 2.0
+
+#: per-request deadline; overload past it surfaces as RpcTimeout
+REQUEST_TIMEOUT = 8.0
+
+#: post-horizon drain so in-flight requests and the final scale-in
+#: rounds complete
+DRAIN = REQUEST_TIMEOUT + 6.0
+
+#: replica-trajectory sampling period
+SAMPLE_EVERY = 0.5
+
+BG_TYPE_XML = """
+<ActivityTypeEntry name="{name}" kind="concrete">
+  <Domain>fig19</Domain>
+  <Function name="run"><Input>data</Input><Output>result</Output></Function>
+</ActivityTypeEntry>
+"""
+
+
+# ---------------------------------------------------------------------------
+# VO construction + content
+# ---------------------------------------------------------------------------
+
+
+def _orchestration_config(community: str, max_replicas: int) -> OrchestrationConfig:
+    """The spec the reconciler drives toward: hot type, bounded fleet."""
+    return OrchestrationConfig(
+        specs=(DeploymentSpec(
+            HOT_TYPE,
+            min_replicas=1,
+            max_replicas=max_replicas,
+            target_utilization=0.6,
+            avoid_sites=(community,),
+        ),),
+        interval=2.0,
+        drain_grace=3.0,
+        scale_in_rounds=2,
+        scale_out_step=1,
+        max_actions_per_round=4,
+        utilization_smoothing=0.5,
+    )
+
+
+def _build_fig19_vo(seed: int, n_sites: int, orchestrated: bool,
+                    admission_limit: Optional[int], max_replicas: int):
+    """Identical VO either way; only the orchestration config differs.
+
+    Lifecycle sweeps run every second so a drained replica is
+    garbage-collected within the reconciler's grace window.
+    """
+    community = f"agrid{0:02d}"
+    return build_vo(VOConfig(
+        n_sites=n_sites,
+        seed=seed,
+        cache_enabled=True,
+        monitors=False,
+        lifecycle=True,
+        lifecycle_sweep_interval=1.0,
+        admission_limit=admission_limit,
+        gram_overhead=0.05,
+        orchestration=(
+            _orchestration_config(community, max_replicas)
+            if orchestrated else None
+        ),
+    ))
+
+
+def _hot_type_content() -> Tuple[str, str, str, int]:
+    """The installable hot type: (type_xml, deployfile_url,
+    deployfile_xml, archive_size).  Build kept light so one scale-out
+    lands within a reconcile interval or two."""
+    lower = HOT_TYPE.lower()
+    home = f"$DEPLOYMENT_DIR/{lower}/{lower}"
+    archive_size = 1_500_000
+    archive_url = f"http://origin/archives/{lower}.tgz"
+    deployfile_url = f"http://origin/deployfiles/{lower}.build"
+    build_steps = _steps(home, [
+        {"name": "Configure", "depends": "Expand", "task": "sh ./configure",
+         "timeout": 60, "demand": 0.25},
+        {"name": "Install", "depends": "Configure", "task": "make install",
+         "timeout": 120, "demand": 0.15,
+         "produces": [(f"bin/{lower}", 400_000, True)]},
+    ])
+    type_xml = _type_xml(
+        HOT_TYPE, base="SyntheticService", domain="fig19",
+        functions='<Function name="run"><Input>data</Input><Output>result</Output></Function>',
+        deployfile_url=deployfile_url,
+    )
+    deployfile_xml = _deployfile(HOT_TYPE, archive_url, archive_size,
+                                 build_steps, home)
+    return type_xml, deployfile_url, deployfile_xml, archive_size
+
+
+def _setup_content(vo, server: str, n_bg_types: int) -> List[str]:
+    """Background types on ``server`` + the installable hot type.
+
+    The hot type starts with exactly one replica, installed on
+    ``server`` through the real deploy pipeline (so scale-out installs
+    behave identically).  Returns the background deployment keys.
+    """
+    bg_keys: List[str] = []
+    for i in range(n_bg_types):
+        type_name = f"Fig19Bg{i:02d}"
+        vo.run_process(vo.client_call(
+            server, "register_type",
+            payload={"xml": BG_TYPE_XML.format(name=type_name)},
+        ))
+        deployment = ActivityDeployment(
+            name=f"{type_name.lower()}-bin",
+            type_name=type_name,
+            kind=DeploymentKind.EXECUTABLE,
+            site=server,
+            path=f"/opt/deployments/{type_name.lower()}/bin/run",
+            home=f"/opt/deployments/{type_name.lower()}",
+            status=DeploymentStatus.ACTIVE,
+        )
+        vo.run_process(vo.client_call(
+            server, "register_deployment",
+            payload={"xml": deployment.wire_xml()},
+        ))
+        wires = vo.run_process(vo.client_call(
+            server, "get_deployments",
+            payload={"type": type_name, "auto_deploy": False},
+        ))
+        bg_keys.extend(sorted(str(w["epr"]["key"]) for w in wires))
+
+    type_xml, deployfile_url, deployfile_xml, archive_size = _hot_type_content()
+    archive_url = f"http://origin/archives/{HOT_TYPE.lower()}.tgz"
+    vo.publish_archive(archive_url, archive_size, md5sum=f"c0ffee{archive_size:x}")
+    vo.publish_deployfile(deployfile_url, deployfile_xml, md5sum="d41d8cd98f")
+    vo.run_process(vo.client_call(
+        vo.community_site, "register_type", payload={"xml": type_xml},
+    ))
+    result = vo.run_process(vo.client_call(
+        server, "deploy", payload={"type_xml": type_xml},
+    ))
+    if not result.get("success"):
+        raise RuntimeError(f"fig19 hot-type seed install failed: {result.get('error')}")
+    return bg_keys
+
+
+def _start_replica_sampler(vo, t0: float,
+                           series: List[Tuple[float, int]],
+                           targets: List[Tuple[str, str]]) -> None:
+    """Track the hot type's live replicas straight from the ADRs.
+
+    ``targets`` (site, key) is what the workload routes over —
+    clients follow the fleet the way a discovery-driven scheduler
+    would — and ``series`` records (t, replica count) on change.
+    Works identically with and without a reconciler, so the static
+    series uses the same instrumentation.
+    """
+
+    def loop() -> Generator:
+        while True:
+            found: List[Tuple[str, str]] = []
+            for name in sorted(vo.stacks):
+                adr = vo.stacks[name].adr
+                for d in adr.local_deployments_for(HOT_TYPE):
+                    if d.status == DeploymentStatus.ACTIVE:
+                        found.append((name, d.key))
+            targets[:] = found
+            if not series or series[-1][1] != len(found):
+                series.append((round(vo.sim.now - t0, 3), len(found)))
+            yield vo.sim.timeout(SAMPLE_EVERY)
+
+    vo.sim.process(loop(), name="fig19-replica-sampler")
+
+
+# ---------------------------------------------------------------------------
+# The flash-crowd scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig19Flash:
+    """One series (orchestrated or static) of the fig19 flash crowd."""
+
+    orchestrated: bool
+    spike_rate: float
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: (t relative to workload start, observed replica count) on change
+    replica_series: List[Tuple[float, int]] = field(default_factory=list)
+    max_replicas_seen: int = 0
+    final_replicas: int = 0
+    reconcile_rounds: int = 0
+    installs: int = 0
+    drains: int = 0
+    convergence_times: List[float] = field(default_factory=list)
+    result_digest: str = ""
+
+
+def run_fig19_flash(
+    orchestrated: bool,
+    seed: int = 43,
+    n_sites: int = 8,
+    admission_limit: Optional[int] = 24,
+    n_bg_types: int = 4,
+    max_replicas: int = 4,
+    horizon: float = 80.0,
+    warmup: float = 6.0,
+    spike_start: float = 20.0,
+    spike_end: float = 56.0,
+    adapt: float = 12.0,
+    request_timeout: float = REQUEST_TIMEOUT,
+) -> Fig19Flash:
+    """The 100x flash crowd, with or without the reconciler.
+
+    ``adapt`` splits the spike window: *surge* (the reconciler is
+    still scaling) vs *recovered* (the fleet should be carrying the
+    crowd).  Hot requests round-robin over whatever replicas the
+    sampler currently observes, so routing follows scale-out and
+    drain automatically.
+    """
+    vo = _build_fig19_vo(seed, n_sites, orchestrated, admission_limit,
+                         max_replicas)
+    community = vo.community_site
+    server = vo.site_names[1]
+    bg_keys = _setup_content(vo, server, n_bg_types)
+
+    phases = (("before", 0.0, spike_start),
+              ("surge", spike_start, spike_start + adapt),
+              ("recovered", spike_start + adapt, spike_end),
+              ("after", spike_end, horizon))
+    t0 = vo.sim.now  # workload clock starts after content setup
+    stats = {name: StreamStats(window=WINDOW) for name, _, _ in phases}
+    drivers = {
+        name: OpenLoopDriver(vo, stats[name], request_timeout=request_timeout,
+                             warmup=t0 + warmup)
+        for name, _, _ in phases
+    }
+
+    replica_series: List[Tuple[float, int]] = []
+    targets: List[Tuple[str, str]] = []
+    _start_replica_sampler(vo, t0, replica_series, targets)
+
+    def phase_of(t: float) -> str:
+        for name, start, end in phases:
+            if start <= t < end:
+                return name
+        return phases[-1][0]
+
+    bg_times = PoissonProcess(BG_RATE, name="fig19-bg").sample(horizon, seed)
+    spike_rate = SPIKE_FACTOR * HOT_BASE_RATE
+    hot_rate = StepRate(HOT_BASE_RATE, spike_rate, spike_start, spike_end)
+    hot_times = NHPoissonProcess(hot_rate, name="fig19-hot").sample(horizon, seed)
+
+    def make_bg_call(op: str, index: int) -> Generator:
+        driver = drivers[op.split("|", 1)[0]]
+        payload = {"key": bg_keys[index % len(bg_keys)], "demand": BG_DEMAND}
+        value = yield from driver.call(community, server, "instantiate", payload)
+        return value
+
+    def make_hot_call(op: str, index: int) -> Generator:
+        driver = drivers[op.split("|", 1)[0]]
+        if targets:
+            site, key = targets[index % len(targets)]
+        else:  # pre-sampler edge: the seed replica on the primary
+            site, key = server, f"{server}/{HOT_TYPE.lower()}-bin"
+        payload = {"key": key, "demand": HOT_DEMAND}
+        value = yield from driver.call(community, site, "instantiate", payload)
+        return value
+
+    def fire_bg(t: float, i: int) -> None:
+        phase = phase_of(t - t0)
+        drivers[phase].fire(f"{phase}|bg", t, i, make_bg_call)
+
+    def fire_hot(t: float, i: int) -> None:
+        phase = phase_of(t - t0)
+        drivers[phase].fire(f"{phase}|hot", t, i, make_hot_call)
+
+    CohortInjector(vo.sim, bg_times + t0, fire_bg, tick=TICK).start()
+    CohortInjector(vo.sim, hot_times + t0, fire_hot, tick=TICK).start()
+    vo.sim.run(until=t0 + horizon + DRAIN)
+
+    out_phases: Dict[str, Dict[str, float]] = {}
+    for name, start, end in phases:
+        s = stats[name]
+        span = end - max(start, warmup)
+        hot = s.ops.get(f"{name}|hot")
+        out_phases[name] = {
+            "arrivals": s.offered,
+            "completed": s.completed,
+            "shed": s.shed_total,
+            "timeouts": s.timeout_total,
+            "goodput": s.completed / span if span > 0 else 0.0,
+            "hot_completed": hot.completed if hot else 0,
+            "hot_goodput": (hot.completed / span) if hot and span > 0 else 0.0,
+            "hot_shed": hot.shed if hot else 0,
+            "hot_p99_ms": (hot.latency.p99 * 1000.0) if hot else 0.0,
+        }
+
+    reconciler = vo.reconciler
+    digest_parts = [f"{name}:{stats[name].fingerprint()}" for name, _, _ in phases]
+    digest_parts.append(
+        "replicas:" + ",".join(f"{t:.3f}={n}" for t, n in replica_series)
+    )
+    if reconciler is not None:
+        digest_parts.append(f"reconciler:{reconciler.fingerprint()}")
+    digest = hashlib.sha256("|".join(digest_parts).encode()).hexdigest()
+
+    counts = [n for _, n in replica_series] or [0]
+    return Fig19Flash(
+        orchestrated=orchestrated,
+        spike_rate=spike_rate,
+        phases=out_phases,
+        replica_series=replica_series,
+        max_replicas_seen=max(counts),
+        final_replicas=counts[-1],
+        reconcile_rounds=len(reconciler.rounds) if reconciler else 0,
+        installs=reconciler.actuator.installs if reconciler else 0,
+        drains=reconciler.actuator.drains if reconciler else 0,
+        convergence_times=list(reconciler.convergence_times) if reconciler else [],
+        result_digest=digest,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Driver + formatting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig19Result:
+    orchestrated: Fig19Flash
+    static: Fig19Flash
+    merged_digest: str
+
+
+def run_fig19(
+    seed: int = 43,
+    quick: bool = False,
+    verify_determinism: bool = True,
+    jobs: int = 1,
+) -> Fig19Result:
+    """Orchestrated vs static flash crowd + acceptance assertions.
+
+    The three units (orchestrated, static, orchestrated-repeat) are
+    independent fixed-seed simulations, so ``jobs > 1`` fans them out;
+    the merged digest is order-independent.
+    """
+    from repro.runner import WorkUnit, merge_digests, run_units
+
+    kwargs: Dict = {"seed": seed}
+    if quick:
+        kwargs.update(
+            n_sites=6, max_replicas=3, horizon=40.0, warmup=4.0,
+            spike_start=10.0, spike_end=26.0, adapt=8.0,
+        )
+
+    units = [
+        WorkUnit("fig19:orchestrated", "repro.experiments.fig19:run_fig19_flash",
+                 dict(kwargs, orchestrated=True)),
+        WorkUnit("fig19:static", "repro.experiments.fig19:run_fig19_flash",
+                 dict(kwargs, orchestrated=False)),
+    ]
+    if verify_determinism:
+        units.append(WorkUnit(
+            "fig19:orchestrated-repeat", "repro.experiments.fig19:run_fig19_flash",
+            dict(kwargs, orchestrated=True),
+        ))
+    results = run_units(units, jobs=jobs)
+    orchestrated, static = results[0], results[1]
+
+    if verify_determinism:
+        repeat = results[2]
+        if repeat.result_digest != orchestrated.result_digest:
+            raise AssertionError(
+                f"fig19 orchestrated run is not deterministic for seed {seed}: "
+                f"{orchestrated.result_digest} != {repeat.result_digest}"
+            )
+
+    # 1. the reconciler scaled out and drained back to min replicas
+    if orchestrated.max_replicas_seen < 2:
+        raise AssertionError(
+            "fig19: orchestration never scaled out "
+            f"(max observed replicas {orchestrated.max_replicas_seen})"
+        )
+    if orchestrated.final_replicas != 1:
+        raise AssertionError(
+            "fig19: fleet did not drain back to min_replicas "
+            f"({orchestrated.final_replicas} replicas at end of run)"
+        )
+    if static.max_replicas_seen != 1:
+        raise AssertionError(
+            "fig19: static series unexpectedly changed replica count "
+            f"({static.max_replicas_seen})"
+        )
+
+    # 2. goodput recovered to at least the pre-spike plateau
+    before = orchestrated.phases["before"]["goodput"]
+    recovered = orchestrated.phases["recovered"]["goodput"]
+    if before <= 0:
+        raise AssertionError("fig19: zero goodput before the spike")
+    if recovered < before:
+        raise AssertionError(
+            f"fig19: goodput did not recover under orchestration "
+            f"({recovered:.1f}/s recovered vs {before:.1f}/s before)"
+        )
+
+    # 3. scale-out actually bought hot-type capacity vs the static VO
+    orch_hot = orchestrated.phases["recovered"]["hot_goodput"]
+    static_hot = static.phases["recovered"]["hot_goodput"]
+    if orch_hot < 1.2 * max(static_hot, 1e-9):
+        raise AssertionError(
+            f"fig19: orchestrated hot goodput {orch_hot:.1f}/s is not "
+            f"clearly above the static series' {static_hot:.1f}/s"
+        )
+
+    # 4. the loop observed divergence and converged again
+    if not orchestrated.convergence_times:
+        raise AssertionError("fig19: no convergence events recorded")
+
+    named = {
+        "fig19:orchestrated": orchestrated.result_digest,
+        "fig19:static": static.result_digest,
+    }
+    return Fig19Result(
+        orchestrated=orchestrated,
+        static=static,
+        merged_digest=merge_digests(named),
+    )
+
+
+def format_fig19(result: Fig19Result) -> str:
+    """Render the orchestrated-vs-static phase comparison."""
+    headers = ["series", "phase", "arrivals", "goodput/s", "hot/s",
+               "hot shed", "hot p99 ms"]
+    rows = []
+    for flash in (result.orchestrated, result.static):
+        series = "orchestrated" if flash.orchestrated else "static"
+        for name in ("before", "surge", "recovered", "after"):
+            ph = flash.phases.get(name, {})
+            rows.append([
+                series,
+                name,
+                int(ph.get("arrivals", 0)),
+                f"{ph.get('goodput', 0.0):.0f}",
+                f"{ph.get('hot_goodput', 0.0):.0f}",
+                int(ph.get("hot_shed", 0)),
+                f"{ph.get('hot_p99_ms', 0.0):.1f}",
+            ])
+    orch = result.orchestrated
+    out = [format_table(
+        headers, rows,
+        title=(f"Fig. 19 — desired-state orchestration under a "
+               f"{SPIKE_FACTOR:.0f}x flash crowd ({orch.spike_rate:.0f}/s)"),
+    )]
+    trajectory = " → ".join(f"{n}@{t:.0f}s" for t, n in orch.replica_series)
+    out.append(f"replica trajectory (orchestrated): {trajectory}")
+    if orch.convergence_times:
+        times = ", ".join(f"{t:.1f}s" for t in sorted(orch.convergence_times))
+        out.append(
+            f"convergence times (diverged → plan converged): {times} "
+            f"over {orch.reconcile_rounds} rounds "
+            f"({orch.installs} installs, {orch.drains} drains)"
+        )
+    out.append(
+        "scale-out = planner-driven rollout installs; scale-in = WSRF "
+        "lifetime shortening + lifetime-manager garbage collection; the "
+        "static series is the same seeded workload with orchestration off."
+    )
+    return "\n".join(out)

@@ -1,11 +1,61 @@
-"""Plain-text rendering of experiment results (tables and series)."""
+"""Plain-text rendering of experiment results (tables and series).
+
+Besides the table/series primitives every ``format_*`` helper builds
+on, this module hosts the *aggregate experiment report*: one document
+stitching together every shipped evaluation artefact (table 1 and
+figures 10–19), rendered by :func:`render_experiment_report` and
+reachable as ``repro report experiments``.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 Cell = Union[str, int, float]
+
+#: every shipped evaluation artefact, in presentation order — the
+#: aggregate report runs these through the same per-command drivers the
+#: CLI uses, so the sections are byte-identical to the standalone runs
+EXPERIMENT_CATALOG = (
+    "table1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+)
+
+
+def render_experiment_report(
+    quick: bool = True,
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+) -> str:
+    """One document covering all shipped experiments.
+
+    Runs each catalogued experiment through its CLI driver and joins
+    the rendered sections under ``=== name ===`` banners.  ``names``
+    restricts the report to a subset (unknown names raise).  The CLI
+    import happens lazily: :mod:`repro.cli` imports this module for
+    its table helpers, so a top-level import would be circular.
+    """
+    from repro.cli import COMMANDS
+
+    selected = tuple(names) if names is not None else EXPERIMENT_CATALOG
+    unknown = [n for n in selected if n not in COMMANDS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {', '.join(unknown)}")
+    sections = []
+    for name in selected:
+        banner = f"=== {name} " + "=" * max(0, 70 - len(name))
+        sections.append(banner + "\n" + COMMANDS[name](quick, jobs=jobs))
+    return "\n\n".join(sections)
 
 
 @dataclass

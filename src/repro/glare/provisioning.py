@@ -132,7 +132,19 @@ class ProvisioningStats:
 
 
 class DeploymentManager:
-    """On-demand provisioning logic, hosted by one RDM service."""
+    """Provisioning *mechanism*, hosted by one RDM service.
+
+    Two policies drive it and it decides for neither:
+
+    * the on-demand pipeline (:meth:`deploy_on_demand`) — install when
+      a discovery request misses;
+    * the desired-state reconciler (:mod:`repro.orchestrate`) — its
+      actuator calls :meth:`probe_sites` and :meth:`rollout` and owns
+      every scale-out/scale-in decision itself.
+
+    The manager therefore keeps no replica-count opinions: it probes,
+    installs, registers and notifies, and reports what happened.
+    """
 
     def __init__(
         self,
@@ -268,7 +280,7 @@ class DeploymentManager:
             names = yield from self.rdm.known_sites()
             if preferred_site:
                 names = [preferred_site] + [n for n in names if n != preferred_site]
-            descriptions = yield from self._probe_sites(names)
+            descriptions = yield from self.probe_sites(names)
             candidates: List[str] = []
             for name in names:
                 desc = descriptions.get(name)
@@ -281,13 +293,17 @@ class DeploymentManager:
         )
         return candidates
 
-    def _probe_sites(self, names: List[str]) -> Generator:
+    def probe_sites(self, names: List[str]) -> Generator:
         """``site_info`` every site in ``names``; unreachable ones dropped.
 
         Returns ``{name: SiteDescription}``.  With the TTL cache enabled
         a fresh entry skips the RPC; with :attr:`ProvisioningConfig.
         parallel_probe` the remaining probes run concurrently at most
         ``probe_fanout`` at a time instead of serially.
+
+        Public mechanism: besides candidate selection here, the
+        desired-state reconciler's actuator probes through this method,
+        so both policies share one probe path (and one cache).
         """
         cfg = self.config
         descriptions: Dict[str, SiteDescription] = {}

@@ -27,6 +27,7 @@ from repro.glare.model import (
     ActivityDeployment,
     ActivityType,
     DeploymentKind,
+    DeploymentStatus,
     InstallationSpec,
     TypeKind,
 )
@@ -647,6 +648,13 @@ class GlareRDMService(Service):
 
     SERVICE_NAME = RDM_SERVICE
 
+    #: reconciliation traffic bypasses admission shedding (see
+    #: :attr:`Service.CONTROL_OPS`) — the desired-state control loop
+    #: must observe and drain exactly when the data plane is overloaded
+    CONTROL_OPS = frozenset({
+        "report_observed", "apply_spec", "set_deployment_lifetime",
+    })
+
     def __init__(
         self,
         network,
@@ -717,6 +725,11 @@ class GlareRDMService(Service):
         self.semantic_index = SemanticIndex(self.atr.hierarchy)
         self.admin_notifications: List[Dict] = []
         self._monitors: List = []
+        #: replicated desired-state document (orchestration); written
+        #: only via ``op_apply_spec`` — the reconciler is the sole
+        #: originator, so the document survives super-peer takeover on
+        #: whichever site hosts the next reconciler
+        self.desired_state = None  # Optional[repro.orchestrate.spec.DesiredState]
 
     # -- plumbing -----------------------------------------------------------------
 
@@ -1087,6 +1100,75 @@ class GlareRDMService(Service):
             "platform": self.site.description.platform,
             "utilization": cpu.utilization(),
         }
+
+    def op_report_observed(self, message: Message) -> Generator:
+        """One observation sample for the desired-state reconciler.
+
+        Payload: ``{'types': [managed type names]}``.  Returns the live
+        gauges (instantaneous busy slots / capacity, not the since-t=0
+        average of ``op_site_load``) plus this site's admission-shed
+        tallies and the local ACTIVE deployments of each listed type.
+        """
+        payload = message.payload or {}
+        types = payload.get("types", [])
+        yield from self.compute(0.0005)
+        cpu = self.site.cpu
+        deployments = {
+            name: sorted(
+                d.key
+                for d in self.adr.local_deployments_for(name)
+                if d.status == DeploymentStatus.ACTIVE
+            )
+            for name in types
+        }
+        return {
+            "site": self.node_name,
+            "load": self.site.loadavg.value,
+            "run_queue": cpu.run_queue_length,
+            "cores": cpu.cores,
+            "utilization": cpu.running / cpu.cores,
+            "shed_by_op": dict(self.shed_by_op),
+            "deployments": deployments,
+        }
+
+    def op_apply_spec(self, message: Message) -> Generator:
+        """Revision-gated write of the replicated desired state.
+
+        Payload is ``DesiredState.to_wire()``.  A revision at or below
+        the one already held is rejected (guarded-accept, like
+        ``op_shard_note``) so re-deliveries after a takeover are
+        idempotent.  Returns ``{'accepted':, 'revision':}``.
+        """
+        from repro.orchestrate.spec import DeploymentSpec, DesiredState
+
+        wire = message.payload or {}
+        yield from self.compute(0.0005)
+        revision = int(wire.get("revision", 0))
+        held = self.desired_state
+        if held is not None and revision <= held.revision:
+            return {"accepted": False, "revision": held.revision}
+        specs = {}
+        for spec_wire in wire.get("specs", []):
+            spec = DeploymentSpec.from_wire(spec_wire)
+            specs[spec.type_name] = spec
+        self.desired_state = DesiredState(revision=revision, specs=specs)
+        return {"accepted": True, "revision": revision}
+
+    def op_set_deployment_lifetime(self, message: Message) -> Generator:
+        """Shorten (or extend) a local deployment's WSRF lifetime.
+
+        Payload: ``{'key':, 'at': absolute termination time}``.  The
+        reconciler's scale-in path: the registration stays visible until
+        the site's lifetime sweep garbage-collects it, so in-flight
+        requests drain naturally over the grace window.
+        """
+        payload = message.payload
+        yield from self.compute(0.0005)
+        resource = self.adr.home.lookup(payload["key"])
+        if resource is None:
+            return {"ok": False, "error": f"no local deployment {payload['key']!r}"}
+        resource.set_termination_time(float(payload["at"]))
+        return {"ok": True, "at": float(payload["at"])}
 
     def op_ping(self, message: Message) -> Generator:
         yield from self.compute(0.0002)

@@ -43,6 +43,13 @@ class Service:
 
     SERVICE_NAME = "service"
 
+    #: control-plane operations admission shedding never applies to.
+    #: Observation and reconciliation traffic must get through exactly
+    #: when the data plane is overloaded — otherwise the control loop
+    #: goes blind at the moment it matters (the same reason real load
+    #: shedders exempt health checks).  They still charge CPU.
+    CONTROL_OPS: frozenset = frozenset()
+
     def __init__(self, network: "Network", node_name: str, name: str | None = None) -> None:
         self.network = network
         self.node_name = node_name
@@ -94,7 +101,9 @@ class Service:
         if handler is None:
             raise UnknownOperation(f"{self.name} has no operation {method!r}")
         health = self.network.health
-        if self.admission_limit is not None and self.inflight >= self.admission_limit:
+        if (self.admission_limit is not None
+                and self.inflight >= self.admission_limit
+                and method not in self.CONTROL_OPS):
             self.requests_shed += 1
             self.shed_by_op[method] = self.shed_by_op.get(method, 0) + 1
             self.obs.metrics.counter(

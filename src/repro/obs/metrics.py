@@ -276,9 +276,11 @@ class MetricsRecorder:
     """A simulation process sampling per-site gauges on an interval.
 
     Samples, per member site: the 1-minute load average, the CPU
-    run-queue depth, MDS query worker-pool occupancy, registry cache
-    sizes, and RPCs currently in flight on the node.  Series names are
-    ``site.load``, ``site.run_queue``, ``site.mds_busy_workers``,
+    run-queue depth, instantaneous core utilization (busy slots over
+    capacity — the gauge the capacity planner scales on), MDS query
+    worker-pool occupancy, registry cache sizes, and RPCs currently in
+    flight on the node.  Series names are ``site.load``,
+    ``site.run_queue``, ``site.utilization``, ``site.mds_busy_workers``,
     ``site.atr_cache``, ``site.adr_cache``, ``site.inflight_rpcs``,
     each labelled with ``site=<name>``.
     """
@@ -317,6 +319,8 @@ class MetricsRecorder:
             registry.sample("site.load", stack.site.loadavg.value, site=name)
             registry.sample("site.run_queue",
                             runtime.cpu.run_queue_length, site=name)
+            registry.sample("site.utilization",
+                            runtime.cpu.running / runtime.cpu.cores, site=name)
             registry.sample("site.inflight_rpcs",
                             runtime.inflight_rpcs, site=name)
             if stack.index is not None:

@@ -38,6 +38,12 @@ proven not to change any simulated-time result:
   arrivals per wall second gate), memory flatness of the full overload
   path, and the arrival-trace / overload-outcome digests, gated via
   ``BENCH_workload.json``;
+* :func:`bench_orchestration` / :func:`orchestration_fingerprint` —
+  the Fig. 19 desired-state control loop: wall-clock cost of the full
+  orchestrated flash crowd (observe → plan → actuate rounds riding a
+  live workload), plus the orchestrated/static outcome digests, the
+  replica trajectory and a pure-planner decision digest, gated via
+  ``BENCH_orchestration.json``;
 * :func:`kernel_trace_fingerprint` / :func:`experiment_fingerprint` —
   deterministic digests of the seeded event trace and of end-to-end
   simulated outputs (byte totals, throughputs).  Two runs of the same
@@ -1262,6 +1268,199 @@ def compare_workload_baseline(
         if key in base_fp and fp.get(key) != base_fp.get(key):
             failures.append(
                 f"workload fingerprint drift: {key} changed "
+                f"({fp.get(key)!r} vs {base_fp.get(key)!r})"
+            )
+    return failures
+
+
+# -- desired-state orchestration benchmark (Fig. 19 machinery) --------------
+
+#: the fixed quick-mode fig19 shape shared by the orchestration bench
+#: and fingerprint — identical in quick and full suite modes so the
+#: committed fingerprint pins one exact simulation
+_ORCH_SHAPE = dict(seed=43, n_sites=6, max_replicas=3, horizon=40.0,
+                   warmup=4.0, spike_start=10.0, spike_end=26.0, adapt=8.0)
+
+
+def bench_orchestration(seed: int = 43) -> "BenchResult":
+    """Wall-clock cost of the desired-state control loop under load.
+
+    Runs the quick-shape orchestrated fig19 flash crowd — thousands of
+    open-loop arrivals with the reconciler observing, planning and
+    actuating every interval — and reports simulated reconcile rounds
+    per wall second.  The interesting regression here is control-loop
+    overhead: the loop must stay a negligible slice of a busy
+    simulation's wall time.
+    """
+    from repro.experiments.fig19 import run_fig19_flash
+
+    shape = dict(_ORCH_SHAPE, seed=seed)
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    flash = run_fig19_flash(orchestrated=True, **shape)
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - start
+    return BenchResult(
+        name="orchestration",
+        metric="reconcile_rounds_per_wall_sec",
+        value=flash.reconcile_rounds / wall,
+        wall_seconds=wall,
+        work_units=flash.reconcile_rounds,
+        cpu_seconds=cpu,
+        peak_rss_kb=peak_rss_kb(),
+        details={
+            "rounds": flash.reconcile_rounds,
+            "installs": flash.installs,
+            "drains": flash.drains,
+            "max_replicas_seen": flash.max_replicas_seen,
+            "final_replicas": flash.final_replicas,
+            "convergence_times": [round(t, 6) for t in flash.convergence_times],
+        },
+    )
+
+
+def _planner_decision_digest(seed: int = 43) -> str:
+    """Digest of the pure planner over a grid of synthetic worlds.
+
+    No simulator at all: every (utilization level, shed level, health
+    mix, placement count) cell is planned once and its TypePlan folded
+    into one sha256.  Catches policy drift — threshold comparisons,
+    tie-breaking, clamping — independently of the simulation around it.
+    """
+    from repro.orchestrate.planner import Observed, Planner, SiteObservation
+    from repro.orchestrate.spec import DeploymentSpec, OrchestrationConfig
+
+    planner = Planner(OrchestrationConfig())
+    spec = DeploymentSpec(type_name="T", min_replicas=1, max_replicas=3,
+                          target_utilization=0.6)
+    digest = hashlib.sha256(f"planner|{seed}".encode())
+    site_names = ("a", "b", "c", "d")
+    for busy in (0.05, 0.3, 0.65, 0.95):
+        for shed in (0, 5):
+            for bad in ("", "a", "d"):
+                for n_placed in (0, 1, 2, 4):
+                    sites = tuple(
+                        SiteObservation(
+                            site=name,
+                            utilization=busy * (1.0 + 0.1 * index),
+                            load=busy * 4.0,
+                            run_queue=index,
+                            shed=shed if index == 0 else 0,
+                            health="down" if name == bad else "healthy",
+                        )
+                        for index, name in enumerate(site_names)
+                    )
+                    observed = Observed(
+                        sites=sites,
+                        placements={"T": site_names[:n_placed]},
+                    )
+                    tp = planner.plan([spec], observed).types[0]
+                    digest.update(
+                        f"{busy}|{shed}|{bad}|{n_placed}=>"
+                        f"{tp.desired}|{tp.placements}|{tp.add}|{tp.remove}"
+                        f"|{tp.reason};".encode()
+                    )
+    return digest.hexdigest()
+
+
+def orchestration_fingerprint(seed: int = 43) -> Dict[str, Any]:
+    """Deterministic digest of the desired-state control loop.
+
+    The orchestrated and static fig19 series pin the full closed loop
+    (observation wire shapes, EWMA smoothing, planner policy, install
+    and drain ordering, WSRF GC timing) bit-for-bit; the replica
+    trajectory and convergence times pin the control behaviour in
+    human-readable form; the planner decision digest pins the pure
+    policy layer alone.  All figures are simulated, so quick and full
+    suite modes run the same sizes and ``BENCH_orchestration.json``
+    pins them across refactors.
+    """
+    from repro.experiments.fig19 import run_fig19_flash
+
+    shape = dict(_ORCH_SHAPE, seed=seed)
+    orchestrated = run_fig19_flash(orchestrated=True, **shape)
+    static = run_fig19_flash(orchestrated=False, **shape)
+    return {
+        "seed": seed,
+        "planner_decisions": _planner_decision_digest(seed),
+        "orchestrated_digest": orchestrated.result_digest,
+        "static_digest": static.result_digest,
+        "replica_series": [[round(t, 3), n]
+                           for t, n in orchestrated.replica_series],
+        "max_replicas_seen": orchestrated.max_replicas_seen,
+        "final_replicas": orchestrated.final_replicas,
+        "rounds": orchestrated.reconcile_rounds,
+        "installs": orchestrated.installs,
+        "drains": orchestrated.drains,
+        "convergence_times": [repr(round(t, 6))
+                              for t in orchestrated.convergence_times],
+        "recovered_goodput": repr(orchestrated.phases["recovered"]["goodput"]),
+        "static_recovered_goodput": repr(static.phases["recovered"]["goodput"]),
+    }
+
+
+def orchestration_suite(quick: bool = False) -> Dict[str, Any]:
+    """The ``BENCH_orchestration.json`` payload (bench + fingerprint).
+
+    Quick and full modes run the same fixed shape: the whole suite is
+    one simulated scenario whose wall time is already CI-sized, and
+    identical sizes are what let the fingerprint pin one exact run.
+    """
+    bench = bench_orchestration()
+    return {
+        "suite": "bench_orchestration",
+        "mode": "quick" if quick else "full",
+        "results": {bench.name: bench.to_dict()},
+        "fingerprint": orchestration_fingerprint(),
+    }
+
+
+def compare_orchestration_baseline(
+    suite: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.25,
+    min_hot_gain: float = 1.2,
+) -> List[str]:
+    """Gate the desired-state control loop against a committed baseline.
+
+    Three families of failure: the control loop got expensive (rounds
+    per wall second regressed beyond ``max_regression``), the control
+    *behaviour* degraded (scale-out stopped beating the static series
+    by ``min_hot_gain`` on recovered goodput, or the fleet no longer
+    drains back to min replicas), or any fingerprint figure drifted —
+    the planner decision digest, the series digests, the replica
+    trajectory — which means a refactor changed what the loop does.
+    """
+    failures: List[str] = []
+    bench = suite["results"].get("orchestration", {})
+    base_bench = baseline.get("results", {}).get("orchestration", {})
+    if bench and base_bench:
+        rate, base_rate = bench.get("value", 0.0), base_bench.get("value", 0.0)
+        if base_rate > 0 and rate < base_rate * (1.0 - max_regression):
+            failures.append(
+                f"orchestration: {rate:,.1f} reconcile rounds/s is more than "
+                f"{max_regression:.0%} below baseline {base_rate:,.1f}/s"
+            )
+    fp, base_fp = suite.get("fingerprint", {}), baseline.get("fingerprint", {})
+    if fp.get("final_replicas") != 1:
+        failures.append(
+            "orchestration: fleet did not drain back to min replicas "
+            f"({fp.get('final_replicas')} at end of run)"
+        )
+    recovered = float(fp.get("recovered_goodput", "0") or 0)
+    static = float(fp.get("static_recovered_goodput", "0") or 0)
+    if recovered < min_hot_gain * max(static, 1e-9):
+        failures.append(
+            f"orchestration: recovered goodput {recovered:.1f}/s no longer "
+            f"clears {min_hot_gain}x the static series' {static:.1f}/s"
+        )
+    for key in ("planner_decisions", "orchestrated_digest", "static_digest",
+                "replica_series", "max_replicas_seen", "final_replicas",
+                "rounds", "installs", "drains", "convergence_times",
+                "recovered_goodput", "static_recovered_goodput"):
+        if key in base_fp and fp.get(key) != base_fp.get(key):
+            failures.append(
+                f"orchestration fingerprint drift: {key} changed "
                 f"({fp.get(key)!r} vs {base_fp.get(key)!r})"
             )
     return failures

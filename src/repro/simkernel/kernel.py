@@ -53,7 +53,7 @@ dominant object churn of the inner loop.
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from sys import getrefcount
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple, Union
 
@@ -202,6 +202,47 @@ class Simulator:
                     "urgent events must be scheduled at the current time"
                 )
             self._urgent.append(event)
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a scheduled, not-yet-dispatched normal event.
+
+        The shutdown primitive periodic components need: interrupting a
+        process that waits on ``timeout(interval)`` detaches the waiter
+        but leaves the timeout itself on the agenda until its fire time,
+        so a "stopped" component would still hold a standing agenda
+        entry (and keep ``run()`` busy until it lapses).  ``cancel``
+        removes the event outright; when its bucket empties, the
+        timestamp is dropped from the time heap too, so a fully drained
+        simulation reports ``peek() == inf`` immediately.
+
+        Returns ``True`` when the event was found and removed, ``False``
+        when it was never scheduled, already dispatched, or urgent.
+
+        Contract: only cancel events scheduled strictly in the future
+        (``delay > 0``).  Periodic sweep timeouts always are; cancelling
+        an event out of the cohort currently being dispatched is not
+        supported.
+        """
+        if event._processed:
+            return False
+        buckets = self._buckets
+        for when, bucket in buckets.items():
+            if bucket is event:
+                del buckets[when]
+                self._times.remove(when)
+                heapify(self._times)
+                return True
+            if type(bucket) is list:
+                try:
+                    bucket.remove(event)
+                except ValueError:
+                    continue
+                if not bucket:
+                    del buckets[when]
+                    self._times.remove(when)
+                    heapify(self._times)
+                return True
+        return False
 
     def _recycle(self, event: Event) -> None:
         """Return a processed Timeout to the free list if nothing holds it.

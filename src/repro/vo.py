@@ -34,6 +34,7 @@ from repro.net.topology import Topology
 from repro.net.transport import SecurityPolicy
 from repro.obs import MetricsRecorder, Observability
 from repro.obs.slo import SLOSpec
+from repro.orchestrate.spec import OrchestrationConfig
 from repro.simkernel import Simulator
 from repro.site.description import SiteDescription
 from repro.site.gridsite import GridSite
@@ -94,6 +95,13 @@ class VOConfig:
     #: admission bound on each RDM frontend (``None`` = unbounded;
     #: excess concurrent requests are shed with ``Overloaded``)
     admission_limit: Optional[int] = None
+    #: desired-state orchestration (``None`` or a spec-less config =
+    #: no reconciler process at all — byte-identical baseline behaviour)
+    orchestration: Optional["OrchestrationConfig"] = None
+    #: WSRF expiry-sweep cadence of each site's LifecycleController
+    #: (orchestration experiments shorten it so drained replicas are
+    #: garbage-collected within a reconcile interval or two)
+    lifecycle_sweep_interval: float = 10.0
 
 
 class SiteStack:
@@ -144,6 +152,8 @@ class VirtualOrganization:
         self.stacks: Dict[str, SiteStack] = {}
         self.community_site: str = ""
         self.origin: Optional[GridSite] = None
+        #: desired-state reconciler (orchestration config only)
+        self.reconciler = None
 
     # -- accessors -----------------------------------------------------------
 
@@ -309,7 +319,9 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
         if config.admission_limit is not None:
             stack.rdm.admission_limit = config.admission_limit
         if config.lifecycle:
-            stack.lifecycle = LifecycleController(stack.rdm)
+            stack.lifecycle = LifecycleController(
+                stack.rdm, sweep_interval=config.lifecycle_sweep_interval
+            )
 
     # Bootstrap community membership (initial registrations at t=0),
     # then start the keepalive + monitor machinery.
@@ -342,6 +354,23 @@ def build_vo(config: Optional[VOConfig] = None, **overrides) -> VirtualOrganizat
         vo.obs.recorder.start()
     if vo.obs.slo is not None:
         vo.obs.slo.start()
+
+    # Desired-state orchestration: one reconciler process on the
+    # community site, driving the VO toward the declared specs.  The
+    # health plane (when enabled) feeds degraded/down states into
+    # placement.  Off by default — no config, no process, no events.
+    if config.orchestration is not None and config.orchestration.any_enabled:
+        from repro.orchestrate import RdmActuator, Reconciler
+
+        community_rdm = vo.stacks[vo.community_site].rdm
+        assert community_rdm is not None
+        vo.reconciler = Reconciler(
+            community_rdm,
+            config.orchestration,
+            actuator=RdmActuator(community_rdm),
+            health=vo.obs.health,
+        )
+        vo.reconciler.start()
 
     # Fault plane: spawn the crash/churn schedules (no-op when disabled).
     vo.faults.start()

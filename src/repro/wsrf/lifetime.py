@@ -31,6 +31,8 @@ class LifetimeManager:
         self.interval = interval
         self._homes: List[Tuple[ResourceHome, List[ExpiryListener]]] = []
         self._proc = None
+        #: the sweep timeout currently on the agenda (cancelled by stop)
+        self._pending = None
         self.expired_total = 0
 
     def watch(self, home: ResourceHome, listener: Optional[ExpiryListener] = None) -> None:
@@ -53,10 +55,20 @@ class LifetimeManager:
         self._proc = self.sim.process(self._sweep_loop(), name="wsrf-lifetime")
 
     def stop(self) -> None:
-        """Interrupt the sweeping process."""
-        if self._proc is not None and self._proc.is_alive:
-            self._proc.interrupt("stop")
-        self._proc = None
+        """Stop sweeping; idempotent, leaves no standing agenda entry.
+
+        Interrupting the loop alone is not enough: the pending
+        ``timeout(interval)`` the loop waits on would stay on the
+        agenda until it lapses, so a drained VO would still hold one
+        scheduled event per stopped sweeper.  The pending timeout is
+        therefore cancelled outright.
+        """
+        proc, self._proc = self._proc, None
+        if proc is not None and proc.is_alive:
+            proc.interrupt("stop")
+        if self._pending is not None:
+            self.sim.cancel(self._pending)
+            self._pending = None
 
     def sweep_now(self) -> List[WSResource]:
         """Immediate synchronous sweep (used by tests and shutdown paths)."""
@@ -73,7 +85,11 @@ class LifetimeManager:
     def _sweep_loop(self) -> Generator:
         try:
             while True:
-                yield self.sim.timeout(self.interval)
+                self._pending = self.sim.timeout(self.interval)
+                yield self._pending
+                self._pending = None
                 self.sweep_now()
         except Interrupt:
             return
+        finally:
+            self._pending = None

@@ -1,0 +1,168 @@
+"""Planner unit tests: the plan is a pure function of spec + gauges,
+respects min/max bounds and placement constraints, and routes around
+bad health — the satellite contracts of the orchestration ISSUE."""
+
+import pytest
+
+from repro.obs.health import DEGRADED, DOWN
+from repro.orchestrate.planner import Observed, Planner, SiteObservation
+from repro.orchestrate.spec import DeploymentSpec, OrchestrationConfig
+from repro.site.description import SiteDescription
+
+
+def obs(site, utilization=0.1, load=0.0, run_queue=0, shed=0,
+        health="healthy", description=None):
+    return SiteObservation(site=site, utilization=utilization, load=load,
+                           run_queue=run_queue, shed=shed, health=health,
+                           description=description)
+
+
+def observed(sites, **placements):
+    return Observed(sites=tuple(sites),
+                    placements={t: tuple(s) for t, s in placements.items()})
+
+
+SPEC = DeploymentSpec(type_name="Hot", min_replicas=1, max_replicas=3,
+                      target_utilization=0.6)
+
+
+class TestPurity:
+    def test_same_inputs_same_plan(self):
+        planner = Planner(OrchestrationConfig())
+        world = observed([obs("a", 0.9), obs("b", 0.2), obs("c", 0.4)],
+                         Hot=["a"])
+        first = planner.plan([SPEC], world)
+        second = planner.plan([SPEC], world)
+        assert first == second
+
+    def test_inputs_not_mutated(self):
+        planner = Planner(OrchestrationConfig())
+        sites = [obs("a", 0.9), obs("b", 0.2)]
+        world = observed(sites, Hot=["a"])
+        before = (world.sites, dict(world.placements))
+        planner.plan([SPEC], world)
+        assert (world.sites, dict(world.placements)) == before
+
+    def test_plan_is_independent_of_observation_order(self):
+        planner = Planner(OrchestrationConfig())
+        sites = [obs("a", 0.9), obs("b", 0.2), obs("c", 0.4)]
+        forward = planner.plan([SPEC], observed(sites, Hot=["a"]))
+        backward = planner.plan([SPEC], observed(sites[::-1], Hot=["a"]))
+        assert forward == backward
+
+
+class TestBounds:
+    def test_bootstrap_to_min_replicas(self):
+        planner = Planner(OrchestrationConfig())
+        spec = DeploymentSpec(type_name="Hot", min_replicas=2, max_replicas=4)
+        plan = planner.plan([spec], observed([obs("a"), obs("b"), obs("c")]))
+        tp = plan.for_type("Hot")
+        assert tp.reason == "bootstrap"
+        assert tp.desired == 2
+        assert len(tp.add) == 2
+
+    def test_scale_out_never_exceeds_max(self):
+        planner = Planner(OrchestrationConfig())
+        spec = DeploymentSpec(type_name="Hot", min_replicas=1, max_replicas=2,
+                              target_utilization=0.5)
+        world = observed([obs("a", 0.95), obs("b", 0.95), obs("c", 0.1)],
+                         Hot=["a", "b"])
+        tp = planner.plan([spec], world).for_type("Hot")
+        assert tp.desired == 2  # clamped: pressure high but already at max
+        assert tp.add == ()
+
+    def test_scale_in_never_goes_below_min(self):
+        planner = Planner(OrchestrationConfig())
+        world = observed([obs("a", 0.01), obs("b", 0.01)], Hot=["a"])
+        tp = planner.plan([SPEC], world).for_type("Hot")
+        assert tp.desired == 1
+        assert tp.remove == ()
+
+    def test_shed_forces_scale_out_below_threshold(self):
+        planner = Planner(OrchestrationConfig())
+        world = observed([obs("a", 0.2, shed=17), obs("b", 0.1)], Hot=["a"])
+        tp = planner.plan([SPEC], world).for_type("Hot")
+        assert tp.reason == "scale-out"
+        assert tp.add == ("b",)
+
+    def test_scale_out_picks_least_loaded_site(self):
+        planner = Planner(OrchestrationConfig())
+        world = observed(
+            [obs("a", 0.9), obs("b", 0.5), obs("c", 0.2)], Hot=["a"]
+        )
+        tp = planner.plan([SPEC], world).for_type("Hot")
+        assert tp.reason == "scale-out"
+        assert tp.add == ("c",)
+
+    def test_scale_in_drains_lexicographic_tail(self):
+        planner = Planner(OrchestrationConfig())
+        world = observed(
+            [obs("a", 0.05), obs("b", 0.05), obs("c", 0.05)],
+            Hot=["a", "b", "c"],
+        )
+        tp = planner.plan([SPEC], world).for_type("Hot")
+        assert tp.reason == "scale-in"
+        assert tp.remove == ("c",)
+        assert tp.placements == ("a", "b")
+
+
+class TestConstraintsAndHealth:
+    def test_placement_constraints_filter_candidates(self):
+        planner = Planner(OrchestrationConfig())
+        linux = SiteDescription(name="b", os="Linux")
+        windows = SiteDescription(name="c", os="Windows")
+        spec = DeploymentSpec(type_name="Hot", min_replicas=2, max_replicas=3,
+                              constraints=(("os", "Linux"),))
+        world = observed([obs("a", description=None),
+                         obs("b", description=linux),
+                         obs("c", description=windows)])
+        tp = planner.plan([spec], world).for_type("Hot")
+        # no description fails closed; only the Linux site qualifies
+        assert tp.add == ("b",)
+
+    def test_avoid_sites_excluded(self):
+        planner = Planner(OrchestrationConfig())
+        spec = DeploymentSpec(type_name="Hot", avoid_sites=("a",))
+        tp = planner.plan([spec], observed([obs("a"), obs("b")]))
+        assert tp.for_type("Hot").add == ("b",)
+
+    def test_down_site_routed_around(self):
+        planner = Planner(OrchestrationConfig())
+        world = observed([obs("a", health=DOWN), obs("b", 0.3)], Hot=["a"])
+        tp = planner.plan([SPEC], world).for_type("Hot")
+        assert "a" in tp.remove
+        assert tp.add == ("b",)
+        assert tp.reason != "steady"
+
+    def test_degraded_respects_avoid_degraded_toggle(self):
+        world = observed([obs("a", health=DEGRADED), obs("b", 0.3)])
+        strict = Planner(OrchestrationConfig(avoid_degraded=True))
+        lenient = Planner(OrchestrationConfig(avoid_degraded=False))
+        assert strict.plan([SPEC], world).for_type("Hot").add == ("b",)
+        assert lenient.plan([SPEC], world).for_type("Hot").add == ("a",)
+
+    def test_no_eligible_site_yields_no_actions(self):
+        planner = Planner(OrchestrationConfig())
+        spec = DeploymentSpec(type_name="Hot", avoid_sites=("a", "b"))
+        tp = planner.plan([spec], observed([obs("a"), obs("b")]))
+        plan = tp.for_type("Hot")
+        assert plan.add == () and plan.remove == ()
+        assert tp.converged
+
+
+class TestPlanShape:
+    def test_types_sorted_and_converged_flag(self):
+        planner = Planner(OrchestrationConfig())
+        specs = [DeploymentSpec(type_name="Zeta"),
+                 DeploymentSpec(type_name="Alpha")]
+        world = observed([obs("a", 0.3)], Zeta=["a"], Alpha=["a"])
+        plan = planner.plan(specs, world)
+        assert [t.type_name for t in plan.types] == ["Alpha", "Zeta"]
+        assert plan.converged
+        assert plan.actions == 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentSpec(type_name="Hot", min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            DeploymentSpec(type_name="Hot", target_utilization=0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for ``Simulator.cancel`` — the shutdown primitive that
+lets periodic components (lifetime sweeper, metrics recorder, the
+orchestration reconciler) withdraw their pending interval tick."""
+
+import math
+
+from repro.simkernel import Simulator
+
+
+class TestCancel:
+    def test_cancel_removes_future_event(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        event = sim.timeout(5.0)
+        assert sim.cancel(event) is True
+        sim.run()
+        assert fired == [1.0]
+        assert sim.now == 1.0  # the 5.0 tick never held the clock
+
+    def test_cancel_empties_agenda(self):
+        sim = Simulator()
+        event = sim.timeout(3.0)
+        assert not math.isinf(sim.peek())
+        assert sim.cancel(event) is True
+        assert math.isinf(sim.peek())
+
+    def test_cancel_unknown_event_returns_false(self):
+        sim = Simulator()
+        event = sim.timeout(3.0)
+        assert sim.cancel(event) is True
+        assert sim.cancel(event) is False  # already removed
+
+    def test_cancel_dispatched_event_returns_false(self):
+        sim = Simulator()
+        event = sim.timeout(1.0)
+
+        def proc():
+            yield event
+
+        sim.process(proc())
+        sim.run()
+        assert sim.cancel(event) is False
+
+    def test_cancel_one_of_a_shared_bucket(self):
+        # two events at the same timestamp share an agenda bucket;
+        # cancelling one must leave the other live
+        sim = Simulator()
+        fired = []
+        doomed = sim.timeout(2.0)
+
+        def proc():
+            yield sim.timeout(2.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        assert sim.cancel(doomed) is True
+        sim.run()
+        assert fired == [2.0]
+
+    def test_cancelled_event_does_not_resume_waiter(self):
+        from repro.simkernel.errors import Interrupt
+
+        sim = Simulator()
+        resumed = []
+        event = sim.timeout(1.0)
+
+        def waiter():
+            try:
+                yield event
+                resumed.append(sim.now)
+            except Interrupt:
+                return
+
+        proc = sim.process(waiter())
+        sim.cancel(event)
+        sim.run()
+        assert resumed == []
+        # the waiter is parked forever unless interrupted — exactly the
+        # stop() idiom: cancel the tick, then interrupt the process
+        proc.interrupt("stop")
+        sim.run()
+        assert math.isinf(sim.peek())
